@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints (and archives under ``benchmarks/output/``) the corresponding
+paper-vs-reproduced comparison, in addition to timing the reproduction
+machinery itself via pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the comparison tables inline; they are always written
+to ``benchmarks/output/*.txt`` regardless.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.model.params import hypothetical, ipsc860
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def ipsc():
+    return ipsc860()
+
+
+@pytest.fixture(scope="session")
+def hypo():
+    return hypothetical()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def archive(output_dir):
+    """Write a named artifact file and echo it to stdout."""
+
+    def _archive(name: str, text: str) -> Path:
+        path = output_dir / name
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+        return path
+
+    return _archive

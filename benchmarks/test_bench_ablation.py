@@ -1,0 +1,80 @@
+"""Ablation benchmarks for the model's robustness claims (DESIGN.md).
+
+* ρ = 0: the paper's §7.4 remark that the approach survives free
+  permutation;
+* synchronization overheads removed: Standard Exchange regains the
+  small-block end (the §4.3 regime);
+* λ sweep: the crossover grows with startup latency — the effect the
+  multiphase algorithm monetizes.
+"""
+
+from __future__ import annotations
+
+from repro.model.sensitivity import (
+    free_permutation_study,
+    latency_sweep,
+    sync_overhead_study,
+)
+
+
+def fmt_hull(shift) -> str:
+    segments = " -> ".join("{" + ",".join(map(str, sorted(h))) + "}" for h in shift.hull)
+    pts = [round(b, 1) for b in shift.boundaries]
+    return f"{segments}   switch points {pts} B"
+
+
+def test_bench_free_permutation(benchmark, archive):
+    base, free = benchmark.pedantic(
+        lambda: free_permutation_study(7), rounds=1, iterations=1
+    )
+    assert len(free.hull[0]) > 1
+    assert free.single_phase_threshold >= base.single_phase_threshold
+    archive(
+        "ablation_rho0.txt",
+        "\n".join(
+            [
+                "hull of optimality, d=7:",
+                f"  measured rho (0.54 us/B): {fmt_hull(base)}",
+                f"  rho = 0:                  {fmt_hull(free)}",
+                "",
+                "multiphase still owns the small-block end with free shuffles;",
+                "its win region widens (paper §7.4: 'valid even if the cost of",
+                "permutation is zero').",
+            ]
+        ),
+    )
+
+
+def test_bench_sync_overheads(benchmark, archive):
+    base, nosync = benchmark.pedantic(
+        lambda: sync_overhead_study(6), rounds=1, iterations=1
+    )
+    assert (1,) * 6 not in base.hull
+    assert nosync.hull[0] == (1,) * 6
+    archive(
+        "ablation_sync.txt",
+        "\n".join(
+            [
+                "hull of optimality, d=6:",
+                f"  with §7 sync overheads:    {fmt_hull(base)}",
+                f"  without sync overheads:    {fmt_hull(nosync)}",
+                "",
+                "the pairwise handshake and per-phase global sync are exactly",
+                "what pushes Standard Exchange off the measured iPSC-860 hull.",
+            ]
+        ),
+    )
+
+
+def test_bench_latency_sweep(benchmark, archive):
+    sweep = benchmark(latency_sweep, 6)
+    values = [c for _, c in sweep]
+    assert values == sorted(values)
+    lines = ["SE/OCS crossover vs startup latency (d=6, other params measured):", ""]
+    lines.append("lambda(us)   crossover(B)")
+    for lam, cross in sweep:
+        lines.append(f"{lam:9.1f}   {cross:11.1f}")
+    lines.append("")
+    lines.append("higher startup cost extends the Standard Exchange regime —")
+    lines.append("the tension the multiphase partitions interpolate.")
+    archive("ablation_latency.txt", "\n".join(lines))

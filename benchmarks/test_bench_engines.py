@@ -1,0 +1,44 @@
+"""Ablation benchmarks for internal design choices (DESIGN.md §8).
+
+* tags vs layout data engines on identical workloads;
+* simulator event-engine throughput (events/second of virtual machine);
+* the cost model's evaluation rate (the optimizer's inner loop).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.program import simulate_exchange
+from repro.core.exchange import run_exchange
+from repro.model.cost import multiphase_time
+
+
+@pytest.mark.parametrize("engine", ["tags", "layout"])
+def test_bench_data_engine(engine, benchmark):
+    """Abstract exchange throughput per data engine (d=6, 32 B)."""
+    outcome = benchmark(run_exchange, 6, 32, (3, 3), engine=engine)
+    outcome.verify(check_payload=False)
+
+
+def test_bench_simulator_throughput(benchmark, ipsc):
+    """Discrete-event engine throughput on a mid-size run."""
+    result = benchmark.pedantic(
+        simulate_exchange, args=(6, 24, (3, 3), ipsc), rounds=1, iterations=1
+    )
+    assert result.run.n_events > 0
+    # sanity: the virtual machine finished and produced verified data
+    result.verify(check_payload=False)
+
+
+def test_bench_cost_model_rate(benchmark, ipsc):
+    """Model evaluations per second: this bounds optimizer sweeps."""
+
+    def evaluate_many():
+        total = 0.0
+        for m in range(0, 400, 4):
+            total += multiphase_time(float(m), 7, (4, 3), ipsc)
+        return total
+
+    total = benchmark(evaluate_many)
+    assert total > 0

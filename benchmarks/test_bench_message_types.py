@@ -1,0 +1,57 @@
+"""Benchmark for the §7.1 message-type study (FORCED vs UNFORCED).
+
+The paper chose FORCED messages (with posted receives and a global
+synchronization) because UNFORCED messages beyond 100 bytes pay a
+reserve-acknowledge handshake.  This bench measures both disciplines on
+the simulated machine across the eager boundary and archives the
+penalty curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.params import MachineParams
+from repro.sim.machine import SimulatedHypercube
+
+
+def ping(params: MachineParams, nbytes: int, *, forced: bool) -> float:
+    """One d=1 message between neighbours under either discipline."""
+    machine = SimulatedHypercube(1, params)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield ctx.post_recv(1, tag=0)
+            yield ctx.barrier()
+            yield ctx.recv(1, tag=0)
+        else:
+            yield ctx.barrier()
+            yield ctx.send(0, payload=None, nbytes=nbytes, tag=0, forced=forced)
+
+    return machine.run(program).time
+
+
+SIZES = (0, 50, 100, 101, 200, 400)
+
+
+def test_bench_forced_vs_unforced(benchmark, ipsc, archive):
+    def sweep():
+        return [(n, ping(ipsc, n, forced=True), ping(ipsc, n, forced=False)) for n in SIZES]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["FORCED vs UNFORCED one-way message time (d=1 neighbours)", ""]
+    lines.append("bytes   FORCED(us)  UNFORCED(us)  penalty")
+    for n, t_forced, t_unforced in rows:
+        lines.append(
+            f"{n:5d}  {t_forced:10.1f}  {t_unforced:12.1f}  {t_unforced / t_forced:6.2f}x"
+        )
+        if n <= 100:
+            # identical below the eager limit (paper: 'performance of
+            # both types is similar for messages of size 0-100 bytes')
+            assert t_unforced == pytest.approx(t_forced)
+        else:
+            assert t_unforced > t_forced
+    lines.append("")
+    lines.append("UNFORCED > 100 B pays the reserve-acknowledge round trip (paper §7.1)")
+    archive("message_types.txt", "\n".join(lines))

@@ -1,0 +1,64 @@
+"""Benchmarks for the §6 optimizer: enumeration cost and hull building.
+
+The paper argues enumeration over p(d) partitions is cheap enough to do
+at runtime (or once, cached).  These benches quantify that claim for
+the dimensions of the evaluation (5-7) and the "million node" d=20 the
+paper projects, and regenerate the hull tables behind Figures 4-6.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hull import PAPER_HULLS, hull_agreement
+from repro.model.optimizer import best_partition, hull_of_optimality
+
+
+def test_bench_best_partition_runtime_choice(benchmark, ipsc, archive):
+    """The per-call runtime cost of picking the optimal partition
+    (d=7, 40-byte blocks — the Figure 6 headline point)."""
+    choice = benchmark(best_partition, 40.0, 7, ipsc)
+    assert choice.partition == (4, 3)
+    ranking = "\n".join(
+        f"  {{{','.join(map(str, sorted(p)))}}}: {t:9.1f} us" for p, t in choice.ranking
+    )
+    archive(
+        "optimizer_ranking_d7_40B.txt",
+        f"all {len(choice.ranking)} partitions of 7 at m=40 B:\n{ranking}",
+    )
+
+
+def test_bench_best_partition_million_node_projection(benchmark, ipsc):
+    """§6: 'even for a million node hypercube, the enumeration of 627
+    partitions is quite viable'.  d=20 is outside the data engine's
+    range but the model/optimizer handle it directly."""
+    from repro.core.partitions import partition_count
+    from repro.model.cost import multiphase_time
+    from repro.core.partitions import partitions as gen
+
+    def enumerate_d20():
+        return min(gen(20), key=lambda p: multiphase_time(40.0, 20, p, ipsc))
+
+    winner = benchmark(enumerate_d20)
+    assert sum(winner) == 20
+    assert partition_count(20) == 627
+
+
+def test_bench_hull_tables(benchmark, ipsc, archive):
+    """Building the stored optimal-partition lookup for d=5..7."""
+
+    def build_all():
+        return {d: hull_of_optimality(d, ipsc) for d in (5, 6, 7)}
+
+    tables = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    lines = ["hull of optimality tables (iPSC-860 model, 0-400 B)", ""]
+    for d, table in tables.items():
+        agreement = hull_agreement(d, ipsc)
+        assert agreement.hull_matches
+        segments = " -> ".join(
+            "{" + ",".join(map(str, sorted(s))) + "}" for s in table.hull_partitions
+        )
+        lines.append(f"d={d}: {segments}")
+        lines.append(f"      switch points: {[round(b, 1) for b in table.boundaries]} bytes")
+        paper_fmt = " -> ".join("{" + ",".join(map(str, sorted(h))) + "}" for h in PAPER_HULLS[d])
+        lines.append(f"      paper hull:    {paper_fmt}")
+    archive("optimizer_hulls.txt", "\n".join(lines))

@@ -1,0 +1,83 @@
+"""Benchmarks regenerating the paper's tables and worked examples
+(experiments E1, E2, E4, E8).
+
+* E4 — §6 partition-count table (p(d) recurrence vs the paper's values),
+  timing the enumeration that makes §6's "trivial" claim true;
+* E8 — §7.4 parameter table;
+* E1 — §4.3 SE/OCS crossover on the hypothetical machine;
+* E2 — §5.1 two-phase worked example.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import (
+    figure6_headline,
+    format_rows,
+    parameter_table,
+    partition_table,
+    section43_crossover,
+    section51_example,
+)
+from repro.core.partitions import partition_count, partitions
+
+
+def test_bench_partition_table(benchmark, archive):
+    """E4: the §6 table, timing the full enumeration machinery.
+
+    The benchmark times generating *and counting* every partition up to
+    d=20 (the million-node cube) — the work a runtime optimizer would
+    do once; the paper's point is that this is trivial.
+    """
+
+    def enumerate_partitions():
+        partition_count.cache_clear()
+        return [(d, partition_count(d), sum(1 for _ in partitions(d))) for d in (5, 10, 15, 20)]
+
+    table = benchmark(enumerate_partitions)
+    for d, p_rec, p_enum in table:
+        assert p_rec == p_enum
+
+    rows = partition_table()
+    assert all(r.agrees for r in rows)
+    archive("table_partitions.txt", format_rows(rows))
+
+
+def test_bench_parameter_table(benchmark, ipsc, archive):
+    """E8: the §7.4 calibration constants."""
+    rows = benchmark(parameter_table, ipsc)
+    assert all(r.agrees for r in rows)
+    archive("table_parameters.txt", format_rows(rows))
+
+
+def test_bench_crossover(benchmark, archive):
+    """E1: §4.3 crossover ('less than 30 bytes' on the hypothetical
+    d=6 machine), timing the closed-form + bisection analysis."""
+    from repro.model.crossover import crossover_block_size, empirical_crossover
+    from repro.model.params import hypothetical
+
+    h = hypothetical()
+
+    def analyse():
+        return crossover_block_size(6, h), empirical_crossover(6, h)
+
+    analytic, numeric = benchmark(analyse)
+    assert 29.0 < analytic < 30.0
+    assert abs(analytic - numeric) < 1e-3
+    rows = section43_crossover()
+    assert all(r.agrees for r in rows)
+    archive("table_crossover.txt", format_rows(rows))
+
+
+def test_bench_section51_example(benchmark, archive):
+    """E2: the §5.1 worked example (d=6, m=24, partition {2,4})."""
+    rows = benchmark(section51_example)
+    assert all(r.agrees for r in rows)
+    archive("table_section51.txt", format_rows(rows))
+
+
+def test_bench_figure6_headline_table(benchmark, ipsc, archive):
+    """Model-level Figure 6 caption numbers (the measured version lives
+    in test_bench_figures)."""
+    rows = benchmark(figure6_headline, ipsc)
+    assert all(r.agrees for r in rows)
+    archive("table_figure6_headline.txt", format_rows(rows))

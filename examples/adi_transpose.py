@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""ADI solver scenario: transpose-dominated PDE stepping (paper §3).
+
+The Alternating Directions Implicit method solves the 2-D heat
+equation with tridiagonal sweeps along rows, then columns.  Row sweeps
+are local under a row-strip decomposition; the column sweeps are made
+local by *transposing the grid* — two complete exchanges per time
+step.  This example steps a hot-spot diffusion problem distributed
+over 16 nodes, verifies against the sequential reference, and shows
+what the exchange costs on the calibrated iPSC-860 for a range of grid
+sizes — including the small strong-scaled grids where the multiphase
+algorithm earns its keep.
+
+Usage::
+
+    python examples/adi_transpose.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.adi import ADIProblem, adi_reference_step, run_adi
+from repro.apps.transpose import transpose_block_size
+from repro.model.cost import multiphase_time
+from repro.model.optimizer import best_partition
+from repro.model.params import ipsc860
+
+
+def main() -> None:
+    n_nodes, d = 16, 4
+    size = 32
+    problem = ADIProblem(size=size, dt=2e-4)
+
+    # hot spot in the middle of the plate
+    u0 = np.zeros((size, size))
+    u0[size // 2 - 2 : size // 2 + 2, size // 2 - 2 : size // 2 + 2] = 100.0
+
+    print(f"ADI heat equation, {size}x{size} grid on {n_nodes} nodes")
+    print("=" * 60)
+
+    u = u0.copy()
+    u_ref = u0.copy()
+    for step in range(1, 6):
+        u = run_adi(u, problem, n_nodes, steps=1, partition=(2, 2))
+        u_ref = adi_reference_step(u_ref, problem)
+        peak = float(u.max())
+        energy = float(np.sum(u ** 2))
+        assert np.allclose(u, u_ref, atol=1e-12), "distributed ADI diverged from reference"
+        print(f"step {step}: peak {peak:8.3f}   energy {energy:12.2f}   (matches reference)")
+
+    # what the two transposes per step cost on the iPSC-860 model
+    params = ipsc860()
+    print("\nper-step exchange cost on the calibrated iPSC-860 (2 transposes):")
+    print("grid     block(B)   best partition   t_multiphase   t_singlephase")
+    for grid in (16, 32, 64, 128):
+        m = transpose_block_size(grid, n_nodes, dtype=np.float64)
+        choice = best_partition(float(m), d, params)
+        label = "{" + ",".join(map(str, sorted(choice.partition))) + "}"
+        t_best = 2 * choice.time * 1e-6
+        t_single = 2 * multiphase_time(float(m), d, (d,), params) * 1e-6
+        print(
+            f"{grid:4d}^2   {m:7d}   {label:14s}   {t_best:10.4f} s   {t_single:11.4f} s"
+        )
+    print("\nsmall grids (strong scaling) sit in the multiphase win region;")
+    print("large grids amortize startups and the single phase takes over.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Walk through the paper's Figure 3 block-by-block.
+
+Shows the complete data movement of a multiphase exchange on a d=3
+cube with partition {2,1}: the initial tableau, the partial exchange
+on bits 2-1 (superblocks of 2), the 2-shuffle, the partial exchange on
+bit 0 (superblocks of 4), and the final 1-shuffle — printing each
+node's (origin:dest) column exactly as the figure draws them.
+
+Usage::
+
+    python examples/figure3_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro.core.exchange import ExchangeOutcome, _apply_exchange
+from repro.core.schedule import ExchangeStep, PhaseStart, ShuffleStep, multiphase_schedule
+from repro.core.shuffle import LayoutBuffer
+
+D, PARTITION = 3, (2, 1)
+
+
+def tableau(buffers) -> str:
+    n = len(buffers)
+    header = "  ".join(f"n{node}  " for node in range(n))
+    lines = [header]
+    for row in range(n):
+        cells = [
+            f"{int(buf.origins[row])}:{int(buf.dests[row])} "
+            for buf in buffers
+        ]
+        lines.append("  ".join(cells))
+    return "\n".join("    " + line for line in lines)
+
+
+def main() -> None:
+    buffers = [LayoutBuffer(node, D, 1) for node in range(1 << D)]
+    outcome = ExchangeOutcome(buffers=buffers)
+
+    print("Figure 3: multiphase exchange, d=3, partition {2,1}")
+    print("columns are nodes; each cell is origin:dest of the block held there")
+    print()
+    print("initial state (block index == destination):")
+    print(tableau(buffers))
+
+    for step in multiphase_schedule(D, PARTITION):
+        if isinstance(step, PhaseStart):
+            print(
+                f"\n=> partial exchange, bits {step.group.hi}..{step.group.lo} "
+                f"(superblocks of {1 << (D - step.group.width)} block(s), "
+                f"{step.n_exchanges} pairwise exchanges)"
+            )
+        elif isinstance(step, ExchangeStep):
+            _apply_exchange(step, buffers, 1 << D, "layout", outcome)
+        elif isinstance(step, ShuffleStep):
+            print("after the partial exchange:")
+            print(tableau(buffers))
+            for buf in buffers:
+                buf.shuffle(step.times)
+            print(f"\n=> {step.times}-shuffle (rotate block-index bits left {step.times})")
+            print(tableau(buffers))
+
+    for buf in buffers:
+        buf.verify_final()
+    print("\nfinal state verified: every node holds blocks sorted by origin,")
+    print("every payload byte intact — exactly the figure's last tableau.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Partition tuning: reproduce the paper's hull-of-optimality analysis.
+
+Enumerates all p(d) multiphase algorithms for a chosen cube dimension
+(the paper's §6 procedure), sweeps block sizes 0-400 B, prints the
+hull with its switch points next to the paper's, and renders the
+figure as ASCII art.
+
+Usage::
+
+    python examples/tune_partitions.py [d]    # d in 5..7, default 7
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.figures import figure_data, render_figure
+from repro.analysis.hull import PAPER_HULLS, PAPER_LAST_BOUNDARY, hull_agreement
+from repro.core.partitions import partition_count
+from repro.model.optimizer import best_partition
+from repro.model.params import ipsc860
+
+
+def fmt(partition) -> str:
+    return "{" + ",".join(map(str, sorted(partition))) + "}"
+
+
+def main() -> None:
+    d = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    if d not in PAPER_HULLS:
+        raise SystemExit(f"the paper evaluates d in {sorted(PAPER_HULLS)}; got {d}")
+    params = ipsc860()
+
+    print(f"partition tuning for a {1 << d}-node (d={d}) iPSC-860")
+    print(f"candidate algorithms: p({d}) = {partition_count(d)} partitions")
+    print("=" * 64)
+
+    agreement = hull_agreement(d, params)
+    table = agreement.table
+    print("hull of optimality (model sweep 0-400 B):")
+    lo = 0.0
+    for idx, segment in enumerate(table.hull_partitions):
+        hi = (
+            table.boundaries[idx]
+            if idx < len(table.boundaries)
+            else 400.0
+        )
+        print(f"  {fmt(segment):12s} optimal for {lo:6.1f} .. {hi:6.1f} bytes")
+        lo = hi
+    paper = " -> ".join(fmt(h) for h in agreement.paper_hull)
+    print(f"paper's hull: {paper} "
+          f"(switch to single phase ~{PAPER_LAST_BOUNDARY[d]:.0f} B; "
+          f"reproduced {agreement.reproduced_last_boundary:.1f} B)")
+
+    # spot ranking at the paper's headline block size
+    m = 40.0
+    choice = best_partition(m, d, params)
+    print(f"\nfull ranking at m={m:.0f} B:")
+    for partition, time in choice.ranking[:6]:
+        marker = "  <-- winner" if partition == choice.partition else ""
+        print(f"  {fmt(partition):12s} {time * 1e-6:8.4f} s{marker}")
+    if len(choice.ranking) > 6:
+        print(f"  ... {len(choice.ranking) - 6} more")
+
+    figure_number = {5: 4, 6: 5, 7: 6}[d]
+    data = figure_data(figure_number, params=params, simulate=False)
+    print()
+    print(render_figure(data))
+
+
+if __name__ == "__main__":
+    main()

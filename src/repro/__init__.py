@@ -1,0 +1,113 @@
+"""repro — Multiphase Complete Exchange on a Circuit Switched Hypercube.
+
+A full reproduction of Bokhari's ICPP 1991 paper: the unified
+multiphase complete-exchange (all-to-all personalized) algorithm for
+circuit-switched hypercubes, its two classical special cases, the
+analytic cost model and partition optimizer, and a calibrated
+discrete-event simulator standing in for the Intel iPSC-860.
+
+Quickstart
+----------
+>>> import repro
+>>> # a verified, byte-moving multiphase exchange (d=4 cube, 32 B blocks)
+>>> outcome = repro.multiphase_exchange(4, 32, (2, 2))
+>>> outcome.verify()
+>>> # the best partition for 40-byte blocks on a 128-node iPSC-860
+>>> repro.best_partition(40, 7, repro.ipsc860()).partition
+(4, 3)
+>>> # a timed run on the simulated machine
+>>> result = repro.simulate_exchange(5, 40, (3, 2), repro.ipsc860())
+>>> round(result.time_us, 1)
+5806.5
+
+Package map
+-----------
+:mod:`repro.core`
+    Algorithms, schedules, block engines, partitions.
+:mod:`repro.model`
+    Cost model (eqs. 1–3), calibration presets, optimizer.
+:mod:`repro.hypercube`
+    Topology, e-cube routing, contention analysis.
+:mod:`repro.sim`
+    Discrete-event circuit-switched machine.
+:mod:`repro.comm`
+    Communicator facade and schedule replay on the simulator.
+:mod:`repro.analysis`
+    Figure/table reproduction and paper-vs-measured reports.
+:mod:`repro.apps`
+    Transpose, 2-D FFT, table lookup, ADI solver.
+"""
+
+from repro.apps import (
+    ADIProblem,
+    DistributedTable,
+    adi_step,
+    distributed_fft2,
+    distributed_ifft2,
+    distributed_lookup,
+    distributed_transpose,
+    run_adi,
+)
+from repro.comm import Communicator, simulate_exchange
+from repro.core import (
+    ExchangeOutcome,
+    multiphase_exchange,
+    multiphase_schedule,
+    optimal_exchange,
+    partition_count,
+    partitions,
+    run_exchange,
+    run_exchange_on_rows,
+    standard_exchange,
+)
+from repro.hypercube import Hypercube, analyze_contention, ecube_path
+from repro.model import (
+    MachineParams,
+    best_partition,
+    crossover_block_size,
+    hull_of_optimality,
+    hypothetical,
+    ipsc860,
+    multiphase_time,
+    optimal_time,
+    standard_time,
+)
+from repro.sim import SimulatedHypercube
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADIProblem",
+    "Communicator",
+    "DistributedTable",
+    "ExchangeOutcome",
+    "Hypercube",
+    "MachineParams",
+    "SimulatedHypercube",
+    "__version__",
+    "adi_step",
+    "analyze_contention",
+    "best_partition",
+    "crossover_block_size",
+    "distributed_fft2",
+    "distributed_ifft2",
+    "distributed_lookup",
+    "distributed_transpose",
+    "ecube_path",
+    "hull_of_optimality",
+    "hypothetical",
+    "ipsc860",
+    "multiphase_exchange",
+    "multiphase_schedule",
+    "multiphase_time",
+    "optimal_exchange",
+    "optimal_time",
+    "partition_count",
+    "partitions",
+    "run_adi",
+    "run_exchange",
+    "run_exchange_on_rows",
+    "simulate_exchange",
+    "standard_exchange",
+    "standard_time",
+]

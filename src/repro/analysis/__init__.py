@@ -1,0 +1,52 @@
+"""Evaluation reproduction: figures, tables, hulls, and reports."""
+
+from repro.analysis.figures import (
+    FIGURE_SPECS,
+    FigureData,
+    FigureSpec,
+    PartitionCurve,
+    figure_data,
+    render_figure,
+)
+from repro.analysis.hull import PAPER_HULLS, HullAgreement, hull_agreement, simulated_winner
+from repro.analysis.plotting import Series, ascii_plot
+from repro.analysis.report import Report, agreement_rows, full_report, hull_rows
+from repro.analysis.sweep import SweepCell, partition_sweep, render_sweep
+from repro.analysis.tables import (
+    Row,
+    figure6_headline,
+    format_rows,
+    parameter_table,
+    partition_table,
+    section43_crossover,
+    section51_example,
+)
+
+__all__ = [
+    "FIGURE_SPECS",
+    "FigureData",
+    "FigureSpec",
+    "HullAgreement",
+    "PAPER_HULLS",
+    "PartitionCurve",
+    "Report",
+    "Row",
+    "Series",
+    "SweepCell",
+    "partition_sweep",
+    "render_sweep",
+    "agreement_rows",
+    "ascii_plot",
+    "figure6_headline",
+    "figure_data",
+    "format_rows",
+    "full_report",
+    "hull_agreement",
+    "hull_rows",
+    "parameter_table",
+    "partition_table",
+    "render_figure",
+    "section43_crossover",
+    "section51_example",
+    "simulated_winner",
+]

@@ -1,0 +1,198 @@
+"""Reproduction of the paper's evaluation figures (Figures 4, 5, 6).
+
+Each figure plots complete-exchange time against block size for an
+iPSC-860 of dimension 5, 6, or 7, showing the partitions that form the
+*hull of optimality* plus the Standard Exchange reference, with
+predicted (model) and measured (simulated) values.
+
+The module produces the underlying data; rendering (ASCII) and the
+paper-vs-reproduced comparison live in :mod:`repro.analysis.plotting`
+and :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.plotting import Series, ascii_plot
+from repro.comm.program import simulate_exchange
+from repro.model.cost import multiphase_time
+from repro.model.optimizer import hull_of_optimality
+from repro.model.params import MachineParams, ipsc860
+from repro.util.validation import check_dimension
+
+__all__ = [
+    "FIGURE_SPECS",
+    "FigureData",
+    "FigureSpec",
+    "PartitionCurve",
+    "figure_data",
+    "render_figure",
+]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Static description of one paper figure."""
+
+    figure_number: int
+    d: int
+    #: partitions the paper shows (hull members + SE reference)
+    partitions: tuple[tuple[int, ...], ...]
+    #: paper's stated hull (for the agreement checks)
+    paper_hull: tuple[tuple[int, ...], ...]
+    #: x-axis range in bytes
+    m_max: int = 400
+    notes: str = ""
+
+
+#: The three evaluation figures.  Partition lists follow the plots: the
+#: hull members plus the Standard Exchange curve shown "only for
+#: comparison".
+FIGURE_SPECS: dict[int, FigureSpec] = {
+    4: FigureSpec(
+        figure_number=4,
+        d=5,
+        partitions=((1, 1, 1, 1, 1), (3, 2), (5,)),
+        paper_hull=((3, 2), (5,)),
+        notes="hull {2,3} then {5}; {2,3} optimal below ~100 bytes",
+    ),
+    5: FigureSpec(
+        figure_number=5,
+        d=6,
+        partitions=((1, 1, 1, 1, 1, 1), (2, 2, 2), (3, 3), (6,)),
+        paper_hull=((2, 2, 2), (3, 3), (6,)),
+        notes="{6} optimal beyond ~140 bytes; {2,2,2} only for very small blocks",
+    ),
+    6: FigureSpec(
+        figure_number=6,
+        d=7,
+        partitions=((1, 1, 1, 1, 1, 1, 1), (3, 2, 2), (4, 3), (7,)),
+        paper_hull=((3, 2, 2), (4, 3), (7,)),
+        notes="{7} optimal beyond ~160 bytes; {2,2,3} for 0-12 bytes; "
+        "{3,4} 2x faster than both classics at 40 bytes",
+    ),
+}
+
+
+@dataclass
+class PartitionCurve:
+    """Predicted and measured series for one partition."""
+
+    partition: tuple[int, ...]
+    block_sizes: list[float]
+    predicted_us: list[float]
+    measured_block_sizes: list[float] = field(default_factory=list)
+    measured_us: list[float] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        inner = ",".join(str(p) for p in sorted(self.partition))
+        return "{" + inner + "}"
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced figure."""
+
+    spec: FigureSpec
+    params_name: str
+    curves: list[PartitionCurve]
+    hull_partitions: tuple[tuple[int, ...], ...]
+    hull_boundaries: tuple[float, ...]
+
+    def curve(self, partition: Sequence[int]) -> PartitionCurve:
+        key = tuple(sorted(partition, reverse=True))
+        for c in self.curves:
+            if tuple(sorted(c.partition, reverse=True)) == key:
+                return c
+        raise KeyError(f"no curve for partition {partition}")
+
+    def winner_at(self, m: float) -> tuple[int, ...]:
+        """Figure-local winner (among plotted partitions) at ``m``."""
+        best = min(self.curves, key=lambda c: multiphase_interp(c, m))
+        return best.partition
+
+
+def multiphase_interp(curve: PartitionCurve, m: float) -> float:
+    """Linear interpolation on a curve's predicted series."""
+    xs, ys = curve.block_sizes, curve.predicted_us
+    if m <= xs[0]:
+        return ys[0]
+    for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+        if x0 <= m <= x1:
+            f = (m - x0) / (x1 - x0) if x1 > x0 else 0.0
+            return y0 + f * (y1 - y0)
+    return ys[-1]
+
+
+def figure_data(
+    figure_number: int,
+    *,
+    params: MachineParams | None = None,
+    prediction_points: int = 41,
+    simulate: bool = True,
+    sim_block_sizes: Sequence[int] | None = None,
+    sim_engine: str = "tags",
+) -> FigureData:
+    """Generate the data behind Figure 4, 5, or 6.
+
+    Predictions come from the analytic model on a dense grid; measured
+    points are full data-moving simulations at ``sim_block_sizes``
+    (default: 9 sizes across the 0–400 byte axis).
+    """
+    if figure_number not in FIGURE_SPECS:
+        raise ValueError(f"no such figure: {figure_number}; have {sorted(FIGURE_SPECS)}")
+    spec = FIGURE_SPECS[figure_number]
+    p = params if params is not None else ipsc860()
+    check_dimension(spec.d, minimum=1)
+    if sim_block_sizes is None:
+        sim_block_sizes = (0, 8, 24, 40, 80, 160, 240, 320, 400)
+
+    grid = [spec.m_max * i / (prediction_points - 1) for i in range(prediction_points)]
+    curves: list[PartitionCurve] = []
+    for partition in spec.partitions:
+        predicted = [multiphase_time(m, spec.d, partition, p) for m in grid]
+        curve = PartitionCurve(
+            partition=partition,
+            block_sizes=list(grid),
+            predicted_us=predicted,
+        )
+        if simulate:
+            for m in sim_block_sizes:
+                result = simulate_exchange(
+                    spec.d, int(m), partition, p, engine=sim_engine
+                )
+                curve.measured_block_sizes.append(float(m))
+                curve.measured_us.append(result.time_us)
+        curves.append(curve)
+
+    table = hull_of_optimality(spec.d, p, m_max=float(spec.m_max))
+    return FigureData(
+        spec=spec,
+        params_name=p.name,
+        curves=curves,
+        hull_partitions=table.hull_partitions,
+        hull_boundaries=table.boundaries,
+    )
+
+
+def render_figure(data: FigureData, *, width: int = 72, height: int = 22) -> str:
+    """ASCII rendering of a reproduced figure (predicted curves)."""
+    series = [
+        Series(label=c.label, x=c.block_sizes, y=[v * 1e-6 for v in c.predicted_us])
+        for c in data.curves
+    ]
+    spec = data.spec
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        title=(
+            f"Figure {spec.figure_number}: multiphase exchange on a "
+            f"{1 << spec.d}-node (d={spec.d}) {data.params_name}"
+        ),
+        xlabel="block size (bytes)",
+        ylabel="time, s",
+    )

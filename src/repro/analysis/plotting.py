@@ -1,0 +1,111 @@
+"""Terminal line plots for the figure reproductions.
+
+The benchmarks render each reproduced figure as ASCII art so the
+curves (and who-wins-where structure) are inspectable without a
+display or plotting dependency.  Multiple series share one canvas;
+each gets a distinct glyph and a legend entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Series", "ascii_plot"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+@dataclass
+class Series:
+    """One plotted curve: sample points plus a label."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+    glyph: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x values vs {len(self.y)} y values"
+            )
+
+
+def ascii_plot(
+    series: Sequence[Series],
+    *,
+    width: int = 72,
+    height: int = 22,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render series on a shared-axis character canvas.
+
+    Points are nearest-cell rasterized; later series overwrite earlier
+    ones where they collide (make the most important series last).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    xs = [v for s in series for v in s.x]
+    ys = [v for s in series for v in s.y]
+    if not xs:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(xv: float, yv: float) -> tuple[int, int]:
+        col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+        return height - 1 - row, col
+
+    for idx, s in enumerate(series):
+        glyph = s.glyph or _GLYPHS[idx % len(_GLYPHS)]
+        # connect consecutive samples with linear interpolation so the
+        # curve reads as a line, not a scatter
+        pts = sorted(zip(s.x, s.y))
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            steps = max(2, int(abs(cell(x1, y1)[1] - cell(x0, y0)[1])) + 1)
+            for t in range(steps + 1):
+                f = t / steps
+                r, c = cell(x0 + f * (x1 - x0), y0 + f * (y1 - y0))
+                grid[r][c] = glyph
+        if len(pts) == 1:
+            r, c = cell(*pts[0])
+            grid[r][c] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 12))
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    label_width = max(len(top_label), len(bottom_label), len(ylabel)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_width)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif r == height // 2 and ylabel:
+            prefix = ylabel[: label_width - 1].rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * label_width + " +" + "-" * width + "+")
+    x_axis = f"{x_lo:.4g}".ljust(width // 2) + f"{x_hi:.4g}".rjust(width // 2)
+    lines.append(" " * (label_width + 2) + x_axis)
+    if xlabel:
+        lines.append(" " * (label_width + 2) + xlabel.center(width))
+    legend = "   ".join(
+        f"{s.glyph or _GLYPHS[i % len(_GLYPHS)]} = {s.label}" for i, s in enumerate(series)
+    )
+    lines.append("")
+    lines.append("  legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Paper-vs-reproduced reporting.
+
+Collects every comparison row the benchmarks print — tables, worked
+examples, figure hulls, prediction/measurement agreement — into one
+report, which is also the machine-readable source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.hull import hull_agreement
+from repro.analysis.tables import (
+    Row,
+    figure6_headline,
+    format_rows,
+    parameter_table,
+    partition_table,
+    section43_crossover,
+    section51_example,
+)
+from repro.comm.program import simulate_exchange
+from repro.model.cost import multiphase_time
+from repro.model.params import MachineParams, ipsc860
+
+__all__ = ["Report", "agreement_rows", "full_report", "hull_rows"]
+
+
+@dataclass
+class Report:
+    """An ordered collection of comparison rows."""
+
+    rows: list[Row] = field(default_factory=list)
+
+    def extend(self, rows: list[Row]) -> None:
+        self.rows.extend(rows)
+
+    @property
+    def n_agreeing(self) -> int:
+        return sum(1 for r in self.rows if r.agrees)
+
+    @property
+    def all_agree(self) -> bool:
+        return self.n_agreeing == len(self.rows)
+
+    def render(self) -> str:
+        body = format_rows(self.rows)
+        footer = f"\n{self.n_agreeing}/{len(self.rows)} comparisons agree with the paper"
+        return body + footer
+
+
+def hull_rows(dims: tuple[int, ...] = (5, 6, 7),
+              params: MachineParams | None = None) -> list[Row]:
+    """Hull membership and switch-point rows for Figures 4-6."""
+    rows: list[Row] = []
+    for d in dims:
+        agreement = hull_agreement(d, params)
+        paper = " ".join("{" + ",".join(map(str, sorted(h))) + "}" for h in agreement.paper_hull)
+        got = " ".join(
+            "{" + ",".join(map(str, sorted(h))) + "}" for h in agreement.table.hull_partitions
+        )
+        rows.append(
+            Row(
+                experiment=f"Fig.{d - 1} hull",
+                quantity=f"optimal partitions, d={d}",
+                paper_value=paper,
+                reproduced_value=got,
+                agrees=agreement.hull_matches,
+            )
+        )
+        rows.append(
+            Row(
+                experiment=f"Fig.{d - 1} hull",
+                quantity=f"switch to single phase (bytes), d={d}",
+                paper_value=f"~{agreement.paper_last_boundary:.0f}",
+                reproduced_value=f"{agreement.reproduced_last_boundary:.1f}",
+                agrees=agreement.boundary_relative_error < 0.25,
+                note="within 25% of the paper's eyeballed switch point",
+            )
+        )
+    return rows
+
+
+def agreement_rows(
+    cases: tuple[tuple[int, int, tuple[int, ...]], ...] = (
+        (5, 40, (3, 2)),
+        (5, 200, (5,)),
+        (6, 24, (3, 3)),
+        (7, 40, (4, 3)),
+    ),
+    params: MachineParams | None = None,
+    *,
+    tolerance: float = 0.01,
+) -> list[Row]:
+    """Prediction-vs-simulation agreement (the dashed-vs-solid check).
+
+    The paper reports "good agreement" between its model and the real
+    machine; our substrate *is* the model plus contention dynamics, so
+    for contention-free schedules the two must agree to within the
+    stated tolerance (they agree exactly; the tolerance guards float
+    noise).
+    """
+    p = params if params is not None else ipsc860()
+    rows = []
+    for d, m, partition in cases:
+        predicted = multiphase_time(m, d, partition, p)
+        measured = simulate_exchange(d, m, partition, p).time_us
+        rel = abs(measured - predicted) / predicted if predicted else 0.0
+        rows.append(
+            Row(
+                experiment="model vs sim",
+                quantity=f"d={d} m={m} {{{','.join(map(str, sorted(partition)))}}}",
+                paper_value=f"{predicted:.1f}us (predicted)",
+                reproduced_value=f"{measured:.1f}us (simulated)",
+                agrees=rel <= tolerance,
+                note=f"rel. diff {rel * 100:.3f}%",
+            )
+        )
+    return rows
+
+
+def full_report(*, include_simulation: bool = True,
+                params: MachineParams | None = None) -> Report:
+    """Every comparison in one report (EXPERIMENTS.md source)."""
+    report = Report()
+    report.extend(partition_table())
+    report.extend(parameter_table(params))
+    report.extend(section43_crossover())
+    report.extend(section51_example())
+    report.extend(figure6_headline(params))
+    report.extend(hull_rows(params=params))
+    if include_simulation:
+        report.extend(agreement_rows(params=params))
+    return report

@@ -1,0 +1,85 @@
+"""Dimension × block-size sweeps of the optimal partition.
+
+Generalizes the per-figure hulls into the full design-space view the
+paper's §6 and §9 projections gesture at: for every cube dimension and
+block size, which partition should a library call, and how much does
+it save over the classical algorithms?  The sweep output drives the
+`repro` CLI's guidance tables and the projection benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model.cost import multiphase_time
+from repro.model.optimizer import best_partition
+from repro.model.params import MachineParams
+
+__all__ = ["SweepCell", "partition_sweep", "render_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (d, m) point of the sweep."""
+
+    d: int
+    m: float
+    partition: tuple[int, ...]
+    time_us: float
+    #: best classical time / best multiphase time (>= 1; 1.0 means a
+    #: classical algorithm is itself optimal)
+    gain_over_classics: float
+
+
+def partition_sweep(
+    dims: Sequence[int],
+    block_sizes: Sequence[float],
+    params: MachineParams,
+) -> list[SweepCell]:
+    """Optimal partition and classical-algorithm gain for every cell."""
+    cells: list[SweepCell] = []
+    for d in dims:
+        for m in block_sizes:
+            choice = best_partition(float(m), d, params)
+            classic = min(
+                multiphase_time(float(m), d, (1,) * d, params),
+                multiphase_time(float(m), d, (d,), params),
+            )
+            gain = classic / choice.time if choice.time > 0 else float("inf")
+            cells.append(
+                SweepCell(
+                    d=d,
+                    m=float(m),
+                    partition=choice.partition,
+                    time_us=choice.time,
+                    gain_over_classics=gain,
+                )
+            )
+    return cells
+
+
+def render_sweep(cells: Sequence[SweepCell]) -> str:
+    """Fixed-width (d rows) × (m columns) table of winners and gains."""
+    dims = sorted({c.d for c in cells})
+    sizes = sorted({c.m for c in cells})
+    by_key = {(c.d, c.m): c for c in cells}
+
+    def fmt(cell: SweepCell) -> str:
+        label = "{" + ",".join(map(str, sorted(cell.partition))) + "}"
+        return f"{label} {cell.gain_over_classics:4.2f}x"
+
+    col_width = max(
+        len(fmt(by_key[(d, m)])) for d in dims for m in sizes
+    ) + 2
+    header = "d\\m(B)" + "".join(f"{m:>{col_width}.0f}" for m in sizes)
+    lines = [header, "-" * len(header)]
+    for d in dims:
+        row = f"{d:<6d}"
+        for m in sizes:
+            row += f"{fmt(by_key[(d, m)]):>{col_width}}"
+        lines.append(row)
+    lines.append("")
+    lines.append("cell: optimal partition and its gain over the better classical")
+    lines.append("algorithm (Standard Exchange or single-phase) at that point")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Alternating Directions Implicit (ADI) iteration (paper §3, refs. [5, 10]).
+
+The Peaceman–Rachford ADI scheme for the 2-D heat equation
+``u_t = u_xx + u_yy`` advances each time step in two half-steps:
+implicit in ``x`` (tridiagonal solves along every row) then implicit in
+``y`` (solves along every column).  With the grid row-strip-distributed
+the row solves are local, and the column solves are made local by a
+distributed transpose — "necessitating the heavy use of a transpose
+procedure", which is exactly the paper's Figure 2 scenario.
+
+The per-step communication is two complete exchanges whose block size
+is ``(N/n)**2`` elements; for strong-scaled production grids this falls
+in the small-block regime where the multiphase algorithm pays off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps.transpose import distributed_transpose
+from repro.util.bitops import log2_exact
+
+__all__ = ["ADIProblem", "adi_reference_step", "adi_step", "run_adi", "thomas_solve"]
+
+
+def thomas_solve(lower: float, diag: float, upper: float, rhs: np.ndarray) -> np.ndarray:
+    """Vectorized Thomas algorithm for constant-coefficient tridiagonal
+    systems, solving along the last axis of ``rhs`` (many independent
+    systems at once).
+
+    Solves ``lower * x[i-1] + diag * x[i] + upper * x[i+1] = rhs[i]``
+    with implied zero boundary neighbours.
+    """
+    rhs = np.asarray(rhs, dtype=np.float64)
+    size = rhs.shape[-1]
+    c_prime = np.empty(size)
+    x = np.empty_like(rhs)
+    # forward sweep (coefficients are scalars, so c' is shared by all
+    # right-hand sides; d' must be carried per system)
+    d_prime = np.empty_like(rhs)
+    beta = diag
+    if beta == 0:
+        raise ZeroDivisionError("singular tridiagonal system (diag == 0)")
+    c_prime[0] = upper / beta
+    d_prime[..., 0] = rhs[..., 0] / beta
+    for i in range(1, size):
+        beta = diag - lower * c_prime[i - 1]
+        if beta == 0:
+            raise ZeroDivisionError(f"singular tridiagonal system at row {i}")
+        c_prime[i] = upper / beta
+        d_prime[..., i] = (rhs[..., i] - lower * d_prime[..., i - 1]) / beta
+    # back substitution
+    x[..., -1] = d_prime[..., -1]
+    for i in range(size - 2, -1, -1):
+        x[..., i] = d_prime[..., i] - c_prime[i] * x[..., i + 1]
+    return x
+
+
+@dataclass(frozen=True)
+class ADIProblem:
+    """A 2-D heat-equation setup on the unit square, Dirichlet-0
+    boundary, uniform interior grid of ``size x size`` points."""
+
+    size: int
+    dt: float = 1e-3
+    diffusivity: float = 1.0
+
+    @property
+    def h(self) -> float:
+        return 1.0 / (self.size + 1)
+
+    @property
+    def r(self) -> float:
+        """The scheme's mesh ratio ``a*dt / (2*h**2)``."""
+        return self.diffusivity * self.dt / (2.0 * self.h ** 2)
+
+
+def _half_step_rows(u: np.ndarray, r: float) -> np.ndarray:
+    """Implicit in the row direction, explicit in the column direction:
+    ``(I - r*Dxx) u' = (I + r*Dyy) u`` with rows along the last axis."""
+    rhs = (1.0 - 2.0 * r) * u
+    rhs[1:, :] += r * u[:-1, :]
+    rhs[:-1, :] += r * u[1:, :]
+    return thomas_solve(-r, 1.0 + 2.0 * r, -r, rhs)
+
+
+def adi_reference_step(u: np.ndarray, problem: ADIProblem) -> np.ndarray:
+    """One sequential Peaceman–Rachford step (the oracle)."""
+    r = problem.r
+    half = _half_step_rows(u, r)
+    # second half step: implicit in columns == implicit in rows of the
+    # transpose
+    return _half_step_rows(half.T, r).T
+
+
+def adi_step(
+    u: np.ndarray,
+    problem: ADIProblem,
+    n_nodes: int,
+    *,
+    partition: Sequence[int] | None = None,
+) -> np.ndarray:
+    """One distributed ADI step using transposes for the column sweep.
+
+    Bit-identical to :func:`adi_reference_step` (same arithmetic, data
+    moved by complete exchange), asserted by the tests.
+    """
+    log2_exact(n_nodes)
+    r = problem.r
+    half = _half_step_rows(u, r)
+    half_t = distributed_transpose(half, n_nodes, partition=partition)
+    stepped_t = _half_step_rows(half_t, r)
+    return distributed_transpose(stepped_t, n_nodes, partition=partition)
+
+
+def run_adi(
+    u0: np.ndarray,
+    problem: ADIProblem,
+    n_nodes: int,
+    steps: int,
+    *,
+    partition: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Advance ``steps`` ADI steps; diffusion with zero boundaries must
+    monotonically dissipate energy (checked by the tests)."""
+    u = np.asarray(u0, dtype=np.float64).copy()
+    if u.shape != (problem.size, problem.size):
+        raise ValueError(f"grid shape {u.shape} != problem size {problem.size}")
+    for _ in range(steps):
+        u = adi_step(u, problem, n_nodes, partition=partition)
+    return u

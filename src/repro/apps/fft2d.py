@@ -1,0 +1,92 @@
+"""Distributed 2-D FFT via transpose (paper §3, ref. [11]).
+
+The parallel Fourier pseudospectral pattern the paper cites: with the
+grid row-strip-distributed, a 2-D FFT is
+
+1. FFT along rows (local to each strip),
+2. distributed transpose (the complete exchange),
+3. FFT along rows again (formerly columns),
+4. optional transpose back to the original layout.
+
+The complete exchange dominates communication, which is why transpose
+throughput bounds pseudospectral solvers — the paper's motivation for
+optimizing it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps.transpose import distributed_transpose, gather_strips, split_into_strips
+from repro.util.bitops import log2_exact
+
+__all__ = ["distributed_fft2", "distributed_ifft2"]
+
+
+def _rowwise_fft(strips: list[np.ndarray], inverse: bool) -> list[np.ndarray]:
+    op = np.fft.ifft if inverse else np.fft.fft
+    return [op(strip, axis=1) for strip in strips]
+
+
+def distributed_fft2(
+    grid: np.ndarray,
+    n_nodes: int,
+    *,
+    partition: Sequence[int] | None = None,
+    restore_layout: bool = True,
+) -> np.ndarray:
+    """2-D FFT of a square grid using the distributed transpose.
+
+    Matches ``np.fft.fft2`` to floating-point accuracy (asserted by the
+    tests for random grids and every partition).
+
+    Parameters
+    ----------
+    grid:
+        ``N x N`` real or complex array, ``N`` divisible by ``n_nodes``.
+    n_nodes:
+        Processor count ``2**d``.
+    partition:
+        Multiphase partition used for both transposes.
+    restore_layout:
+        Transpose back at the end so the result has the standard
+        orientation.  With ``False`` the (cheaper) transposed spectrum
+        is returned, as pseudospectral codes usually keep it.
+
+    >>> import numpy as np
+    >>> g = np.arange(16.0).reshape(4, 4)
+    >>> np.allclose(distributed_fft2(g, 4), np.fft.fft2(g))
+    True
+    """
+    log2_exact(n_nodes)
+    work = np.asarray(grid, dtype=np.complex128)
+
+    # 1. row FFTs within strips
+    strips = _rowwise_fft(split_into_strips(work, n_nodes), inverse=False)
+    # 2. distributed transpose (complete exchange)
+    transposed = distributed_transpose(gather_strips(strips), n_nodes, partition=partition)
+    # 3. row FFTs again (former columns)
+    strips = _rowwise_fft(split_into_strips(transposed, n_nodes), inverse=False)
+    spectrum_t = gather_strips(strips)
+    if not restore_layout:
+        return spectrum_t
+    # 4. transpose back
+    return distributed_transpose(spectrum_t, n_nodes, partition=partition)
+
+
+def distributed_ifft2(
+    spectrum: np.ndarray,
+    n_nodes: int,
+    *,
+    partition: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Inverse 2-D FFT (same transpose structure as the forward
+    transform); matches ``np.fft.ifft2``."""
+    log2_exact(n_nodes)
+    work = np.asarray(spectrum, dtype=np.complex128)
+    strips = _rowwise_fft(split_into_strips(work, n_nodes), inverse=True)
+    transposed = distributed_transpose(gather_strips(strips), n_nodes, partition=partition)
+    strips = _rowwise_fft(split_into_strips(transposed, n_nodes), inverse=True)
+    return distributed_transpose(gather_strips(strips), n_nodes, partition=partition)

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``report``
+    Print the full paper-vs-reproduced comparison (optionally with the
+    simulated agreement rows).
+``figure N``
+    Regenerate Figure 4, 5, or 6 as an ASCII plot (model curves).
+``hull D``
+    Print the hull of optimality for cube dimension ``D``.
+``simulate D M [PARTS...]``
+    Run one verified exchange on the simulated machine and print its
+    measured time, transmission count, and per-phase breakdown.
+``sweep``
+    Optimal-partition guidance table across dimensions and block sizes.
+``demo``
+    A one-minute tour: three algorithms, optimizer, simulation.
+
+``hull`` accepts ``--save FILE`` / ``--load FILE`` for the §6 "store
+the optimal combination for repeated future use" workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.figures import figure_data, render_figure
+from repro.analysis.report import full_report
+from repro.comm.program import simulate_exchange
+from repro.model.cost import multiphase_time, phase_breakdown
+from repro.model.optimizer import best_partition, hull_of_optimality
+from repro.model.params import PRESETS
+
+__all__ = ["build_parser", "main"]
+
+
+def _params(name: str):
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise SystemExit(f"unknown machine preset {name!r}; have {sorted(PRESETS)}")
+
+
+def _fmt(partition) -> str:
+    return "{" + ",".join(map(str, sorted(partition))) + "}"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multiphase complete exchange on a circuit-switched hypercube "
+        "(Bokhari, ICPP 1991) — reproduction toolkit",
+    )
+    parser.add_argument(
+        "--machine", default="ipsc860", choices=sorted(PRESETS),
+        help="machine parameter preset (default: ipsc860)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="paper-vs-reproduced comparison table")
+    p_report.add_argument(
+        "--simulate", action="store_true",
+        help="include the simulated agreement rows (slower)",
+    )
+
+    p_figure = sub.add_parser("figure", help="render Figure 4, 5, or 6 (ASCII)")
+    p_figure.add_argument("number", type=int, choices=(4, 5, 6))
+
+    p_hull = sub.add_parser("hull", help="hull of optimality for a cube dimension")
+    p_hull.add_argument("d", type=int)
+    p_hull.add_argument("--m-max", type=float, default=400.0)
+    p_hull.add_argument("--save", metavar="FILE", help="persist the table as JSON")
+    p_hull.add_argument("--load", metavar="FILE", help="read a stored table instead of rebuilding")
+
+    p_sweep = sub.add_parser("sweep", help="optimal-partition table over (d, m)")
+    p_sweep.add_argument("--dims", type=int, nargs="+", default=[4, 5, 6, 7])
+    p_sweep.add_argument("--sizes", type=float, nargs="+",
+                         default=[0.0, 8.0, 24.0, 40.0, 80.0, 160.0, 320.0])
+
+    p_sim = sub.add_parser("simulate", help="run one verified simulated exchange")
+    p_sim.add_argument("d", type=int, help="cube dimension")
+    p_sim.add_argument("m", type=int, help="block size in bytes")
+    p_sim.add_argument(
+        "parts", type=int, nargs="*",
+        help="partition parts (default: the optimizer's choice)",
+    )
+
+    sub.add_parser("demo", help="one-minute guided tour")
+    return parser
+
+
+def cmd_report(args) -> int:
+    report = full_report(include_simulation=args.simulate, params=_params(args.machine))
+    print(report.render())
+    return 0 if report.all_agree else 1
+
+
+def cmd_figure(args) -> int:
+    data = figure_data(args.number, params=_params(args.machine), simulate=False)
+    print(render_figure(data))
+    hull = " -> ".join(_fmt(h) for h in data.hull_partitions)
+    print(f"\nhull of optimality: {hull}")
+    print(f"switch points: {[round(b, 1) for b in data.hull_boundaries]} bytes")
+    return 0
+
+
+def cmd_hull(args) -> int:
+    params = _params(args.machine)
+    if args.load:
+        from repro.model.store import load_table
+
+        table, params = load_table(args.load, expected_params=params)
+    else:
+        table = hull_of_optimality(args.d, params, m_max=args.m_max)
+    if args.save:
+        from repro.model.store import save_table
+
+        save_table(table, params, args.save)
+        print(f"stored optimizer table in {args.save}")
+    if table.d != args.d:
+        raise SystemExit(
+            f"stored table is for d={table.d}, not the requested d={args.d}"
+        )
+    print(f"hull of optimality, d={args.d}, {params.name}, 0-{args.m_max:.0f} B:")
+    lo = 0.0
+    for idx, segment in enumerate(table.hull_partitions):
+        hi = table.boundaries[idx] if idx < len(table.boundaries) else args.m_max
+        print(f"  {_fmt(segment):14s} {lo:7.1f} .. {hi:7.1f} bytes")
+        lo = hi
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    params = _params(args.machine)
+    partition = tuple(args.parts) if args.parts else best_partition(
+        float(args.m), args.d, params
+    ).partition
+    result = simulate_exchange(args.d, args.m, partition, params)
+    predicted = multiphase_time(args.m, args.d, partition, params)
+    print(f"complete exchange, d={args.d} ({1 << args.d} nodes), m={args.m} B, "
+          f"partition {_fmt(partition)} on {params.name}")
+    print(f"  simulated: {result.time_us:12.1f} us   (byte-verified)")
+    print(f"  predicted: {predicted:12.1f} us   (eq. 3)")
+    print(f"  transmissions per node: {sum((1 << di) - 1 for di in partition)}")
+    print(f"  queueing wait: {result.trace.total_contention_wait:.1f} us")
+    for cost in phase_breakdown(args.m, args.d, partition, params):
+        print(
+            f"  phase d_i={cost.phase_dim}: effective block {cost.effective_block:.0f} B, "
+            f"{cost.total:.1f} us"
+        )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis.sweep import partition_sweep, render_sweep
+
+    params = _params(args.machine)
+    cells = partition_sweep(tuple(args.dims), tuple(args.sizes), params)
+    print(f"optimal partitions on {params.name}:")
+    print(render_sweep(cells))
+    return 0
+
+
+def cmd_demo(args) -> int:
+    params = _params(args.machine)
+    d, m = 7, 40
+    print("Bokhari (1991): multiphase complete exchange — demo")
+    print("=" * 56)
+    choice = best_partition(float(m), d, params)
+    print(f"best partition for d={d}, m={m} B: {_fmt(choice.partition)}")
+    for partition in [(1,) * d, (d,), choice.partition]:
+        t = multiphase_time(m, d, partition, params) * 1e-6
+        print(f"  {_fmt(partition):16s} predicted {t:.4f} s")
+    result = simulate_exchange(5, m, (3, 2), params)
+    print(f"simulated d=5 multiphase {{2,3}}: {result.time_s:.4f} s, "
+          f"byte-verified, zero contention")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "report": cmd_report,
+        "figure": cmd_figure,
+        "hull": cmd_hull,
+        "simulate": cmd_simulate,
+        "sweep": cmd_sweep,
+        "demo": cmd_demo,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

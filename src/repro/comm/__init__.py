@@ -1,0 +1,17 @@
+"""Message-passing layer: communicator facade and schedule replay.
+
+Glues the algorithm schedules of :mod:`repro.core` to the simulated
+machine of :mod:`repro.sim`, and offers an mpi4py-flavoured
+:class:`~repro.comm.communicator.Communicator` for writing SPMD node
+programs.
+"""
+
+from repro.comm.communicator import Communicator
+from repro.comm.program import SimulatedExchange, exchange_program, simulate_exchange
+
+__all__ = [
+    "Communicator",
+    "SimulatedExchange",
+    "exchange_program",
+    "simulate_exchange",
+]

@@ -1,0 +1,122 @@
+"""mpi4py-flavoured communicator over the simulated machine.
+
+Node programs can code against :class:`Communicator` instead of the raw
+request API; its methods are generators meant for ``yield from``, with
+naming that follows the mpi4py conventions of the session's HPC guides
+(capitalized methods move buffers; ``Alltoall`` and ``Alltoallv``-like
+entry points accept numpy arrays).
+
+Example node program::
+
+    def program(ctx):
+        comm = Communicator(ctx)
+        rank = comm.Get_rank()
+        recv = yield from comm.Alltoall(send_rows, partition=(2, 1))
+        yield from comm.Barrier()
+        return recv
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+import numpy as np
+
+from repro.core.blocks import BlockBuffer
+from repro.core.schedule import ExchangeStep, PhaseStart, ShuffleStep, multiphase_schedule
+from repro.sim.node import NodeContext
+from repro.util.validation import check_partition
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """Rank-level communication API bound to one simulated node."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    # identity (mpi4py naming)
+    # ------------------------------------------------------------------
+    def Get_rank(self) -> int:
+        return self.ctx.rank
+
+    def Get_size(self) -> int:
+        return self.ctx.n
+
+    @property
+    def dimension(self) -> int:
+        return self.ctx.d
+
+    # ------------------------------------------------------------------
+    # point to point
+    # ------------------------------------------------------------------
+    def Send(self, buf: Any, dest: int, *, nbytes: int | None = None,
+             tag: int = 0, forced: bool = True) -> Generator:
+        """Blocking send.  ``nbytes`` defaults to ``buf.nbytes`` for
+        array-likes."""
+        size = int(nbytes if nbytes is not None else getattr(buf, "nbytes", 0))
+        yield self.ctx.send(dest, buf, size, tag=tag, forced=forced)
+
+    def Recv(self, source: int | None = None, *, tag: int = 0) -> Generator:
+        """Blocking receive; returns the payload."""
+        payload = yield self.ctx.recv(source, tag=tag)
+        return payload
+
+    def Post_recv(self, source: int | None = None, *, tag: int = 0) -> Generator:
+        """Post a receive without blocking (FORCED discipline, §7.3)."""
+        yield self.ctx.post_recv(source, tag=tag)
+
+    def Sendrecv(self, buf: Any, partner: int, *, nbytes: int | None = None,
+                 tag: int = 0) -> Generator:
+        """Pairwise synchronized exchange; returns the partner's payload."""
+        size = int(nbytes if nbytes is not None else getattr(buf, "nbytes", 0))
+        payload = yield self.ctx.exchange(partner, buf, size, tag=tag)
+        return payload
+
+    def Barrier(self) -> Generator:
+        yield self.ctx.barrier()
+
+    # ------------------------------------------------------------------
+    # collective: the paper's complete exchange
+    # ------------------------------------------------------------------
+    def Alltoall(
+        self,
+        send_rows: np.ndarray,
+        *,
+        partition: Sequence[int] | None = None,
+        tag_base: int = 1 << 20,
+    ) -> Generator:
+        """Complete exchange of ``send_rows`` (``(n, m)`` uint8, row
+        ``j`` bound for rank ``j``) using the multiphase algorithm.
+
+        Returns the ``(n, m)`` receive array ordered by origin.  All
+        ranks must call with the same ``partition`` (defaults to the
+        single-phase Optimal Circuit-Switched algorithm).
+        """
+        ctx = self.ctx
+        d, n = ctx.d, ctx.n
+        parts = check_partition(partition if partition is not None else (d,), d)
+        rows = np.ascontiguousarray(send_rows, dtype=np.uint8)
+        if rows.ndim != 2 or rows.shape[0] != n:
+            raise ValueError(f"rank {ctx.rank}: expected ({n}, m) send rows, got {rows.shape}")
+        m = rows.shape[1]
+        buf = BlockBuffer.from_rows(ctx.rank, d, rows)
+        total_bytes = m * n
+        steps = multiphase_schedule(d, parts)
+        for index, step in enumerate(steps):
+            if isinstance(step, PhaseStart):
+                yield ctx.mark_phase(step.phase_index)
+                yield ctx.barrier()
+            elif isinstance(step, ExchangeStep):
+                partner = step.partner(ctx.rank)
+                partner_coord = (partner >> step.group.lo) & ((1 << step.group.width) - 1)
+                outgoing = buf.extract_for_coordinate(step.group, partner_coord)
+                received = yield ctx.exchange(
+                    partner, outgoing, nbytes=outgoing.nbytes, tag=tag_base + index
+                )
+                buf.insert(received)
+            elif isinstance(step, ShuffleStep):
+                yield ctx.shuffle(total_bytes)
+        return buf.result_rows()

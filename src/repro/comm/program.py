@@ -1,0 +1,217 @@
+"""Replay of exchange schedules on the simulated machine.
+
+Bridges the compiled step lists of :mod:`repro.core.schedule` to the
+discrete-event machine: every node runs the same step list, performing
+real block movement (either data engine) while the simulator charges
+wire, shuffle, and synchronization time.  The result is simultaneously
+a *measurement* (virtual µs) and a byte-verified exchange.
+
+Implementation notes mirroring paper §7:
+
+* each phase begins with a global synchronization (the paper posts all
+  FORCED receives then synchronizes; our exchange primitive folds the
+  receive posting into the §7.2 pairwise rendezvous, and the barrier
+  cost γ·d is charged per phase exactly as eq. (3) does);
+* each pairwise exchange is charged the effective constants
+  λ_eff/δ_eff of §7.4 (zero-byte synchronization included);
+* shuffles perform the actual numpy permutation *and* charge ρ per
+  byte of the full buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Sequence
+
+from repro.core.blocks import BlockBuffer
+from repro.core.schedule import ExchangeStep, PhaseStart, ShuffleStep, Step, multiphase_schedule
+from repro.core.shuffle import LayoutBuffer
+from repro.model.params import MachineParams
+from repro.sim.machine import RunResult, SimulatedHypercube
+from repro.sim.node import NodeContext
+from repro.sim.trace import Trace
+from repro.util.validation import check_dimension, check_partition
+
+__all__ = [
+    "SimulatedExchange",
+    "exchange_program",
+    "naive_program",
+    "simulate_exchange",
+    "simulate_naive_exchange",
+]
+
+
+def exchange_program(
+    ctx: NodeContext,
+    *,
+    steps: Sequence[Step],
+    m: int,
+    engine: str = "tags",
+) -> Generator:
+    """SPMD node program executing a compiled exchange schedule.
+
+    Returns the node's final buffer (verified by the caller).
+    """
+    if engine == "tags":
+        buf: BlockBuffer | LayoutBuffer = BlockBuffer.initial(ctx.rank, ctx.d, m)
+    elif engine == "layout":
+        buf = LayoutBuffer(ctx.rank, ctx.d, m)
+    else:
+        raise ValueError(f"unknown engine {engine!r}; expected 'tags' or 'layout'")
+    total_bytes = m * ctx.n
+
+    for index, step in enumerate(steps):
+        if isinstance(step, PhaseStart):
+            yield ctx.mark_phase(step.phase_index)
+            yield ctx.barrier()
+        elif isinstance(step, ExchangeStep):
+            partner = step.partner(ctx.rank)
+            partner_coord = (partner >> step.group.lo) & ((1 << step.group.width) - 1)
+            if isinstance(buf, BlockBuffer):
+                outgoing = buf.extract_for_coordinate(step.group, partner_coord)
+                received = yield ctx.exchange(
+                    partner, outgoing, nbytes=outgoing.nbytes, tag=index
+                )
+                buf.insert(received)
+            else:
+                outgoing = buf.take_run(step.group, partner_coord)
+                received = yield ctx.exchange(
+                    partner, outgoing, nbytes=outgoing[2].size, tag=index
+                )
+                buf.put_run(step.group, partner_coord, *received)
+        elif isinstance(step, ShuffleStep):
+            if isinstance(buf, LayoutBuffer):
+                buf.shuffle(step.times)
+            yield ctx.shuffle(total_bytes)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown step type {type(step).__name__}")
+    return buf
+
+
+@dataclass
+class SimulatedExchange:
+    """A measured, verified complete exchange on the simulated machine."""
+
+    d: int
+    m: int
+    partition: tuple[int, ...]
+    params_name: str
+    #: virtual completion time in µs — the 'measured' value of the
+    #: paper's solid curves
+    time_us: float
+    trace: Trace
+    run: RunResult
+
+    @property
+    def time_s(self) -> float:
+        return self.time_us * 1e-6
+
+    def verify(self, *, check_payload: bool = True) -> None:
+        """Byte-verify every node's final buffer."""
+        for buf in self.run.node_results:
+            if isinstance(buf, LayoutBuffer):
+                buf.verify_final(check_payload=check_payload)
+            else:
+                buf.verify_complete_exchange_result(check_payload=check_payload)
+
+
+def simulate_exchange(
+    d: int,
+    m: int,
+    partition: Sequence[int] | None,
+    params: MachineParams,
+    *,
+    engine: str = "tags",
+    verify: bool = True,
+) -> SimulatedExchange:
+    """Run one complete exchange on a fresh simulated machine.
+
+    This is the library's "measured" data point: the virtual time the
+    calibrated machine needs for the given partition and block size.
+
+    >>> from repro.model.params import ipsc860
+    >>> result = simulate_exchange(3, 16, (2, 1), ipsc860())
+    >>> result.time_us > 0
+    True
+    """
+    check_dimension(d, minimum=1)
+    parts = check_partition(partition if partition is not None else (d,), d)
+    steps = multiphase_schedule(d, parts)
+    machine = SimulatedHypercube(d, params)
+    run = machine.run(exchange_program, steps=steps, m=m, engine=engine)
+    result = SimulatedExchange(
+        d=d,
+        m=m,
+        partition=parts,
+        params_name=params.name,
+        time_us=run.time,
+        trace=run.trace,
+        run=run,
+    )
+    if verify:
+        result.verify()
+    return result
+
+
+# ----------------------------------------------------------------------
+# negative control: a naive, contention-oblivious schedule
+# ----------------------------------------------------------------------
+def naive_program(ctx: NodeContext, *, m: int) -> Generator:
+    """Rotation-order all-to-all that ignores the machine's idiosyncrasies.
+
+    Step ``s`` sends this node's block to ``(rank + s) mod n`` — the
+    textbook schedule for a crossbar.  Each rotation step is in fact
+    statically link-clean under e-cube, but without pairwise
+    synchronization the nearly-simultaneous send/receive traffic at
+    each node serializes (§7.2), nodes drift out of step, and circuits
+    from *different* steps start overlapping on links.  The measured
+    result is the §2 warning in action: circuit switching does not let
+    programmers ignore the network.
+
+    Correct (byte-verified) but slow; compare against the XOR schedule
+    at identical message count and volume.
+    """
+    buf = BlockBuffer.initial(ctx.rank, ctx.d, m)
+    n = ctx.n
+    # FORCED discipline: post every receive, then synchronize (§7.3).
+    for s in range(1, n):
+        src = (ctx.rank - s) % n
+        yield ctx.post_recv(src, tag=s)
+    yield ctx.barrier()
+    from repro.hypercube.subcube import BitGroup
+
+    whole = BitGroup(lo=0, width=ctx.d)
+    for s in range(1, n):
+        dst = (ctx.rank + s) % n
+        outgoing = buf.extract_for_coordinate(whole, dst)
+        yield ctx.send(dst, outgoing, outgoing.nbytes, tag=s, forced=True)
+    for s in range(1, n):
+        src = (ctx.rank - s) % n
+        received = yield ctx.recv(src, tag=s)
+        buf.insert(received)
+    return buf
+
+
+def simulate_naive_exchange(
+    d: int,
+    m: int,
+    params: MachineParams,
+    *,
+    verify: bool = True,
+) -> SimulatedExchange:
+    """Measure the naive rotation schedule (contended baseline)."""
+    check_dimension(d, minimum=1)
+    machine = SimulatedHypercube(d, params)
+    run = machine.run(naive_program, m=m)
+    result = SimulatedExchange(
+        d=d,
+        m=m,
+        partition=(),
+        params_name=params.name,
+        time_us=run.time,
+        trace=run.trace,
+        run=run,
+    )
+    if verify:
+        result.verify()
+    return result

@@ -1,0 +1,281 @@
+"""Tagged block storage for complete-exchange data movement.
+
+Every node of an ``n = 2**d`` machine starts with ``n`` blocks of ``m``
+bytes, block ``j`` destined for node ``j``; a correct complete exchange
+leaves every node holding the ``n`` blocks addressed to it, one from
+each origin.  :class:`BlockBuffer` stores the blocks with explicit
+``(origin, dest)`` tags plus numpy byte payloads, so the exchange
+algorithms can be verified byte-for-byte rather than by counting
+messages.
+
+The buffer is deliberately *rule-oriented* rather than layout-oriented:
+blocks are selected by destination bit fields (the invariant the
+algorithms maintain), independent of physical position.  The companion
+:mod:`repro.core.shuffle` module implements the physically-contiguous
+layout discipline of the real machine; the two are cross-validated in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hypercube.subcube import BitGroup
+from repro.util.bitops import bit_field
+from repro.util.validation import check_dimension, check_node
+
+__all__ = ["BlockBuffer", "BlockSet", "payload_pattern"]
+
+#: Modulus for the deterministic payload pattern.  A prime below 256 so
+#: that distinct (origin, dest, offset) triples rarely collide.
+_PATTERN_MOD = 251
+
+
+def payload_pattern(origin: int, dest: int, m: int, d: int) -> np.ndarray:
+    """Deterministic, verifiable payload for the block ``origin -> dest``.
+
+    The byte at offset ``i`` is ``((origin * n + dest) * 31 + i * 7) % 251``
+    with ``n = 2**d``; any corruption, misrouting, or mis-sizing shows
+    up as a mismatch against this pattern.
+    """
+    if m < 0:
+        raise ValueError(f"block size must be >= 0, got {m}")
+    n = 1 << d
+    base = (origin * n + dest) * 31
+    return ((base + np.arange(m, dtype=np.int64) * 7) % _PATTERN_MOD).astype(np.uint8)
+
+
+@dataclass
+class BlockSet:
+    """A batch of blocks in flight: parallel tag arrays plus payload rows.
+
+    ``origins``/``dests`` are int64 arrays of length ``B``; ``payload``
+    is a ``(B, m)`` uint8 array whose row ``i`` is the data of block
+    ``(origins[i], dests[i])``.
+    """
+
+    origins: np.ndarray
+    dests: np.ndarray
+    payload: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.origins) == len(self.dests) == len(self.payload)):
+            raise ValueError(
+                f"inconsistent block set: {len(self.origins)} origins, "
+                f"{len(self.dests)} dests, {len(self.payload)} payload rows"
+            )
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.origins)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes (what a transmission of this set carries)."""
+        return int(self.payload.size)
+
+    def sorted_by_dest(self) -> "BlockSet":
+        """Stable sort by (dest, origin); normalizes wire order."""
+        order = np.lexsort((self.origins, self.dests))
+        return BlockSet(self.origins[order], self.dests[order], self.payload[order])
+
+
+class BlockBuffer:
+    """Per-node block store for a complete exchange.
+
+    Parameters
+    ----------
+    node:
+        Label of the owning node.
+    d:
+        Cube dimension.
+    m:
+        Block size in bytes (>= 0; zero-byte blocks still carry tags,
+        matching the paper's m=0 measurements).
+
+    Examples
+    --------
+    >>> buf = BlockBuffer.initial(node=2, d=2, m=4)
+    >>> buf.n_blocks
+    4
+    >>> sorted(buf.dests.tolist())
+    [0, 1, 2, 3]
+    """
+
+    def __init__(self, node: int, d: int, m: int, blocks: BlockSet) -> None:
+        check_dimension(d)
+        check_node(node, d)
+        self.node = node
+        self.d = d
+        self.m = int(m)
+        self._blocks = blocks
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, node: int, d: int, m: int) -> "BlockBuffer":
+        """The pre-exchange state: one block for every destination."""
+        n = 1 << d
+        origins = np.full(n, node, dtype=np.int64)
+        dests = np.arange(n, dtype=np.int64)
+        payload = np.empty((n, m), dtype=np.uint8)
+        for dest in range(n):
+            payload[dest] = payload_pattern(node, dest, m, d)
+        return cls(node, d, m, BlockSet(origins, dests, payload))
+
+    @classmethod
+    def from_rows(cls, node: int, d: int, rows: np.ndarray) -> "BlockBuffer":
+        """Build the initial state from user data.
+
+        ``rows`` is an ``(n, m)`` uint8 array; row ``j`` is the block this
+        node sends to node ``j``.  Used by the application kernels
+        (transpose, FFT, table lookup) to exchange real data.
+        """
+        n = 1 << d
+        rows = np.ascontiguousarray(rows, dtype=np.uint8)
+        if rows.ndim != 2 or rows.shape[0] != n:
+            raise ValueError(f"expected ({n}, m) rows, got shape {rows.shape}")
+        origins = np.full(n, node, dtype=np.int64)
+        dests = np.arange(n, dtype=np.int64)
+        return cls(node, d, rows.shape[1], BlockSet(origins, dests, rows.copy()))
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        return self._blocks.n_blocks
+
+    @property
+    def origins(self) -> np.ndarray:
+        return self._blocks.origins
+
+    @property
+    def dests(self) -> np.ndarray:
+        return self._blocks.dests
+
+    @property
+    def payload(self) -> np.ndarray:
+        return self._blocks.payload
+
+    @property
+    def total_bytes(self) -> int:
+        return self._blocks.nbytes
+
+    # ------------------------------------------------------------------
+    # exchange operations
+    # ------------------------------------------------------------------
+    def extract_for_coordinate(self, group: BitGroup, coordinate: int) -> BlockSet:
+        """Remove and return all blocks whose dest has ``coordinate`` in
+        ``group``.
+
+        This is the multiphase send rule: in a phase on ``group``, the
+        blocks bound for subcube partner ``p`` are exactly those whose
+        destination agrees with ``p`` on the group bits.  The extracted
+        set is the *effective block* of the paper: ``m * 2**(d - d_i)``
+        bytes when called mid-phase on a consistent buffer.
+        """
+        mask = self._field(self._blocks.dests, group) == coordinate
+        return self._extract(mask)
+
+    def extract_for_dest_bit(self, bit_index: int, bit_value: int) -> BlockSet:
+        """Remove and return blocks whose dest bit ``bit_index`` equals
+        ``bit_value`` — the Standard Exchange step rule."""
+        mask = ((self._blocks.dests >> bit_index) & 1) == bit_value
+        return self._extract(mask)
+
+    def insert(self, incoming: BlockSet) -> None:
+        """Add received blocks to the buffer."""
+        if incoming.payload.shape[1:] != (self.m,):
+            raise ValueError(
+                f"received payload rows of width {incoming.payload.shape[1:]}, "
+                f"expected ({self.m},)"
+            )
+        blocks = self._blocks
+        self._blocks = BlockSet(
+            np.concatenate([blocks.origins, incoming.origins]),
+            np.concatenate([blocks.dests, incoming.dests]),
+            np.concatenate([blocks.payload, incoming.payload]),
+        )
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def dest_field_values(self, group: BitGroup) -> np.ndarray:
+        """Distinct group-coordinates among held destinations (sorted)."""
+        return np.unique(self._field(self._blocks.dests, group))
+
+    def is_complete_exchange_result(self) -> bool:
+        """True iff this buffer is a correct post-exchange state."""
+        try:
+            self.verify_complete_exchange_result()
+        except AssertionError:
+            return False
+        return True
+
+    def verify_complete_exchange_result(self, *, check_payload: bool = True) -> None:
+        """Assert the post-exchange invariants, with precise messages.
+
+        * exactly ``n`` blocks are held;
+        * every destination equals this node;
+        * origins are exactly ``0 .. n-1`` (one block from each node);
+        * every payload matches :func:`payload_pattern` for its tags
+          (skipped for user data via ``check_payload=False``).
+        """
+        n = 1 << self.d
+        blocks = self._blocks
+        assert blocks.n_blocks == n, (
+            f"node {self.node}: holds {blocks.n_blocks} blocks, expected {n}"
+        )
+        wrong_dest = blocks.dests != self.node
+        assert not wrong_dest.any(), (
+            f"node {self.node}: {int(wrong_dest.sum())} blocks with foreign destinations "
+            f"{np.unique(blocks.dests[wrong_dest]).tolist()}"
+        )
+        origins = np.sort(blocks.origins)
+        assert np.array_equal(origins, np.arange(n)), (
+            f"node {self.node}: origins {origins.tolist()} are not a permutation of 0..{n - 1}"
+        )
+        if check_payload and self.m > 0:
+            for i in range(blocks.n_blocks):
+                expected = payload_pattern(int(blocks.origins[i]), self.node, self.m, self.d)
+                assert np.array_equal(blocks.payload[i], expected), (
+                    f"node {self.node}: payload of block from {int(blocks.origins[i])} corrupted"
+                )
+
+    def result_rows(self) -> np.ndarray:
+        """Post-exchange payload as an ``(n, m)`` array ordered by origin.
+
+        Row ``j`` is the block node ``j`` sent to this node.  Raises if
+        the buffer is not a complete post-exchange state.
+        """
+        self.verify_complete_exchange_result(check_payload=False)
+        order = np.argsort(self._blocks.origins)
+        return self._blocks.payload[order]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _field(labels: np.ndarray, group: BitGroup) -> np.ndarray:
+        return (labels >> group.lo) & ((1 << group.width) - 1)
+
+    def _extract(self, mask: np.ndarray) -> BlockSet:
+        blocks = self._blocks
+        out = BlockSet(blocks.origins[mask], blocks.dests[mask], blocks.payload[mask])
+        keep = ~mask
+        self._blocks = BlockSet(blocks.origins[keep], blocks.dests[keep], blocks.payload[keep])
+        return out
+
+    def coordinate(self, group: BitGroup) -> int:
+        """This node's coordinate within its subcube for ``group``."""
+        return bit_field(self.node, group.lo, group.width)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockBuffer(node={self.node}, d={self.d}, m={self.m}, "
+            f"n_blocks={self.n_blocks})"
+        )

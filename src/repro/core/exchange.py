@@ -1,0 +1,244 @@
+"""Abstract (un-timed) execution of exchange schedules.
+
+This module moves real bytes according to a compiled schedule, without
+the discrete-event machinery: all nodes advance in lockstep, one step
+at a time.  It is the fast path for correctness testing and for the
+application kernels when no timing is required, and it doubles as the
+reference oracle for the simulator (both must produce byte-identical
+results).
+
+Two interchangeable data engines are provided:
+
+* ``engine="tags"`` — :class:`~repro.core.blocks.BlockBuffer`, which
+  selects blocks by destination bit fields (rule-based, position-free);
+* ``engine="layout"`` — :class:`~repro.core.shuffle.LayoutBuffer`, which
+  reproduces the real machine's contiguous superblock layout and
+  explicit shuffle permutations (paper Figure 3).
+
+Both end origin-sorted and byte-verified; the test suite cross-checks
+them step by step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.core.blocks import BlockBuffer, BlockSet
+from repro.core.schedule import (
+    ExchangeStep,
+    PhaseStart,
+    ShuffleStep,
+    Step,
+    multiphase_schedule,
+)
+from repro.core.shuffle import LayoutBuffer
+from repro.util.validation import check_dimension, check_partition
+
+__all__ = ["ExchangeOutcome", "run_exchange", "run_exchange_on_rows"]
+
+Engine = Literal["tags", "layout"]
+
+
+@dataclass
+class ExchangeOutcome:
+    """Result of an abstract exchange run.
+
+    Attributes
+    ----------
+    buffers:
+        Final per-node buffers (``BlockBuffer`` or ``LayoutBuffer``
+        depending on the engine), indexed by node label.
+    n_exchange_steps:
+        Number of pairwise-exchange steps executed per node.
+    bytes_sent_per_node:
+        Payload bytes each node transmitted (identical across nodes by
+        symmetry).
+    trace:
+        Per-step records ``(step_index, kind, detail)`` for debugging
+        and for the Figure 3 walkthrough example.
+    """
+
+    buffers: list
+    n_exchange_steps: int = 0
+    bytes_sent_per_node: int = 0
+    trace: list[tuple[int, str, str]] = field(default_factory=list)
+
+    def verify(self, *, check_payload: bool = True) -> None:
+        """Assert every node holds a correct complete-exchange result."""
+        for buf in self.buffers:
+            if isinstance(buf, LayoutBuffer):
+                buf.verify_final(check_payload=check_payload)
+            else:
+                buf.verify_complete_exchange_result(check_payload=check_payload)
+
+    def result_rows(self, node: int) -> np.ndarray:
+        """Received blocks of ``node`` ordered by origin, ``(n, m)``."""
+        buf = self.buffers[node]
+        if isinstance(buf, LayoutBuffer):
+            buf.verify_final(check_payload=False)
+            return buf.payload
+        return buf.result_rows()
+
+
+def run_exchange(
+    d: int,
+    m: int,
+    partition: Sequence[int] | None = None,
+    *,
+    engine: Engine = "tags",
+    record_trace: bool = False,
+) -> ExchangeOutcome:
+    """Execute a complete exchange with pattern payloads and verify it.
+
+    Parameters
+    ----------
+    d:
+        Cube dimension (``2**d`` nodes).
+    m:
+        Block size in bytes.
+    partition:
+        Multiphase partition; defaults to ``(d,)`` (the single-phase
+        Optimal Circuit-Switched algorithm).
+    engine:
+        ``"tags"`` (rule-based oracle) or ``"layout"`` (contiguous
+        superblock engine with explicit shuffles).
+    record_trace:
+        Keep a human-readable per-step trace (used by the Figure 3
+        walkthrough).
+
+    >>> outcome = run_exchange(3, 8, (2, 1))
+    >>> outcome.verify()
+    >>> outcome.n_exchange_steps
+    4
+    """
+    check_dimension(d, minimum=1)
+    parts = check_partition(partition if partition is not None else (d,), d)
+    steps = multiphase_schedule(d, parts)
+    n = 1 << d
+    if engine == "tags":
+        buffers: list = [BlockBuffer.initial(node, d, m) for node in range(n)]
+    elif engine == "layout":
+        buffers = [LayoutBuffer(node, d, m) for node in range(n)]
+    else:
+        raise ValueError(f"unknown engine {engine!r}; expected 'tags' or 'layout'")
+    outcome = _execute(steps, buffers, d, engine, record_trace)
+    outcome.verify()
+    return outcome
+
+
+def run_exchange_on_rows(
+    send_rows: Sequence[np.ndarray] | np.ndarray,
+    partition: Sequence[int] | None = None,
+    *,
+    engine: Engine = "tags",
+) -> list[np.ndarray]:
+    """Complete exchange of user data; the library's data front door.
+
+    ``send_rows[x]`` is node ``x``'s ``(n, m)`` uint8 array, row ``j``
+    bound for node ``j``.  Returns ``recv_rows`` with ``recv_rows[x][j]``
+    equal to ``send_rows[j][x]`` — the defining equation of the complete
+    exchange (and of the block matrix transpose, Figure 2).
+    """
+    rows = [np.ascontiguousarray(r, dtype=np.uint8) for r in send_rows]
+    n = len(rows)
+    if n == 0 or (n & (n - 1)):
+        raise ValueError(f"number of nodes must be a power of two, got {n}")
+    d = n.bit_length() - 1
+    if d == 0:
+        return [rows[0].copy()]
+    parts = check_partition(partition if partition is not None else (d,), d)
+    for x, r in enumerate(rows):
+        if r.ndim != 2 or r.shape[0] != n:
+            raise ValueError(f"node {x}: expected ({n}, m) send rows, got {r.shape}")
+        if r.shape[1] != rows[0].shape[1]:
+            raise ValueError("all nodes must use the same block size")
+    steps = multiphase_schedule(d, parts)
+    if engine == "tags":
+        buffers: list = [BlockBuffer.from_rows(x, d, rows[x]) for x in range(n)]
+    elif engine == "layout":
+        buffers = [LayoutBuffer.from_rows(x, d, rows[x]) for x in range(n)]
+    else:
+        raise ValueError(f"unknown engine {engine!r}; expected 'tags' or 'layout'")
+    outcome = _execute(steps, buffers, d, engine, record_trace=False)
+    outcome.verify(check_payload=False)
+    return [outcome.result_rows(x) for x in range(n)]
+
+
+# ----------------------------------------------------------------------
+# lockstep execution
+# ----------------------------------------------------------------------
+def _execute(
+    steps: list[Step],
+    buffers: list,
+    d: int,
+    engine: Engine,
+    record_trace: bool,
+) -> ExchangeOutcome:
+    outcome = ExchangeOutcome(buffers=buffers)
+    n = 1 << d
+    for idx, step in enumerate(steps):
+        if isinstance(step, PhaseStart):
+            if engine == "layout":
+                for buf in buffers:
+                    buf.check_phase_start_invariant(step.group)
+            if record_trace:
+                outcome.trace.append(
+                    (idx, "phase", f"phase {step.phase_index}: bits "
+                     f"{step.group.hi}..{step.group.lo}, {step.n_exchanges} exchanges")
+                )
+        elif isinstance(step, ExchangeStep):
+            _apply_exchange(step, buffers, n, engine, outcome)
+            if record_trace:
+                outcome.trace.append(
+                    (idx, "exchange", f"offset {step.offset} (<< {step.group.lo}), "
+                     f"{step.hops} hops")
+                )
+        elif isinstance(step, ShuffleStep):
+            if engine == "layout":
+                for buf in buffers:
+                    buf.shuffle(step.times)
+            # The tag engine is position-free; shuffles are no-ops for
+            # data placement (their cost is charged by the simulator).
+            if record_trace:
+                outcome.trace.append((idx, "shuffle", f"{step.times} elementary shuffles"))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown step type {type(step).__name__}")
+    return outcome
+
+
+def _apply_exchange(
+    step: ExchangeStep,
+    buffers: list,
+    n: int,
+    engine: Engine,
+    outcome: ExchangeOutcome,
+) -> None:
+    group = step.group
+    shift = step.offset << group.lo
+    outcome.n_exchange_steps += 1
+    if engine == "tags":
+        # Extract both directions first (the machine's exchanges are
+        # concurrent and symmetric), then insert.
+        extracted: dict[int, BlockSet] = {}
+        for node in range(n):
+            partner = node ^ shift
+            partner_coord = (partner >> group.lo) & ((1 << group.width) - 1)
+            extracted[node] = buffers[node].extract_for_coordinate(group, partner_coord)
+        for node in range(n):
+            partner = node ^ shift
+            buffers[node].insert(extracted[partner])
+        outcome.bytes_sent_per_node += extracted[0].nbytes
+    else:
+        taken: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for node in range(n):
+            partner = node ^ shift
+            partner_coord = (partner >> group.lo) & ((1 << group.width) - 1)
+            taken[node] = buffers[node].take_run(group, partner_coord)
+        for node in range(n):
+            partner = node ^ shift
+            partner_coord = (partner >> group.lo) & ((1 << group.width) - 1)
+            buffers[node].put_run(group, partner_coord, *taken[partner])
+        outcome.bytes_sent_per_node += taken[0][2].size

@@ -1,0 +1,171 @@
+"""Multiphase exchange for arbitrary traffic (paper §9, open problem).
+
+The paper closes with: "An open theoretical issue is whether we can
+develop an efficient multiphase algorithm for a given arbitrary
+communication requirement (i.e. an arbitrary directed graph)."  This
+module implements the natural answer the multiphase machinery
+suggests: run the same phase structure, but each pairwise exchange
+carries only the blocks the traffic actually requires, and the cost of
+a lockstep step is governed by its *heaviest* pair.
+
+Model
+-----
+Traffic is an ``n x n`` matrix ``T`` with ``T[s, t]`` the bytes node
+``s`` owes node ``t``; the diagonal is data a node keeps (it rides
+through shuffles but never the wire).  Under partition
+``D = (d_1...d_k)``, phase ``i``'s step with offset ``o`` exchanges,
+for each pair, the traffic whose destination differs from the holder in
+exactly the group-``i`` coordinate pattern implied by ``o`` — the same
+rule as the complete exchange, restricted to present blocks.  With
+pairwise-synchronized lockstep steps the step time is::
+
+    λ_eff + τ · max_pair(bytes this step) + δ_eff · hops
+
+so skewed traffic wastes the synchronized partners' time — quantifying
+*why* the paper calls the general problem challenging — while uniform
+traffic recovers the complete-exchange cost exactly.
+
+:func:`best_partition_for_traffic` enumerates partitions against this
+model, extending §6's optimizer to arbitrary requirements.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.partitions import partitions
+from repro.core.schedule import ExchangeStep, PhaseStart, ShuffleStep, multiphase_schedule
+from repro.model.params import MachineParams
+from repro.util.bitops import log2_exact
+from repro.util.validation import check_partition
+
+__all__ = [
+    "best_partition_for_traffic",
+    "route_traffic",
+    "traffic_time",
+    "uniform_traffic",
+]
+
+
+def uniform_traffic(d: int, m: float) -> np.ndarray:
+    """The complete-exchange traffic matrix: ``m`` bytes per ordered
+    pair.  The diagonal is also ``m`` — the block a node keeps for
+    itself, which is never transmitted but does ride through every
+    shuffle pass (the paper's ``ρ·m·2**d`` term counts all ``2**d``
+    blocks)."""
+    n = 1 << d
+    return np.full((n, n), float(m))
+
+
+def _validate(traffic: np.ndarray) -> tuple[np.ndarray, int]:
+    matrix = np.asarray(traffic, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"traffic must be square, got shape {matrix.shape}")
+    if (matrix < 0).any():
+        raise ValueError("traffic entries must be non-negative")
+    d = log2_exact(matrix.shape[0])
+    return matrix, d
+
+
+def route_traffic(
+    traffic: np.ndarray, partition: Sequence[int]
+) -> list[tuple[int, int, np.ndarray]]:
+    """Expand the phase structure into lockstep step loads.
+
+    Returns one ``(phase_index, offset_shifted, loads)`` triple per
+    exchange step, where ``loads`` is an ``n``-vector of the bytes each
+    node ships at that step.  Between phases, pending traffic moves
+    exactly as the complete exchange moves blocks: after a phase every
+    remaining requirement agrees with its holder on the processed bits.
+
+    The function also serves as a routing proof: it asserts that after
+    the last phase every requirement has reached its destination.
+    """
+    matrix, d = _validate(traffic)
+    parts = check_partition(partition, d)
+    n = 1 << d
+    # pending[holder][dest] = bytes currently at holder bound for dest.
+    pending = matrix.copy()
+    steps_out: list[tuple[int, int, np.ndarray]] = []
+    for step in multiphase_schedule(d, parts):
+        if isinstance(step, (PhaseStart, ShuffleStep)):
+            continue
+        assert isinstance(step, ExchangeStep)
+        group = step.group
+        shift = step.offset << group.lo
+        dest_coords = (np.arange(n) >> group.lo) & ((1 << group.width) - 1)
+        loads = np.zeros(n)
+        moved: list[tuple[int, np.ndarray]] = []
+        for holder in range(n):
+            partner = holder ^ shift
+            partner_coord = (partner >> group.lo) & ((1 << group.width) - 1)
+            # blocks whose destination matches the partner's subcube
+            # coordinate; the holder's own coordinate differs, so its
+            # self-block never ships
+            row = pending[holder] * (dest_coords == partner_coord)
+            loads[holder] = row.sum()
+            moved.append((partner, row))
+        for holder, (partner, row) in enumerate(moved):
+            pending[holder] -= row
+            pending[partner] += row
+        steps_out.append((step.phase_index, shift, loads))
+    # routing proof: all traffic must now sit at its destination row
+    off_diagonal = pending.copy()
+    np.fill_diagonal(off_diagonal, 0.0)
+    assert not off_diagonal.any(), "multiphase routing left traffic undelivered"
+    return steps_out
+
+
+def traffic_time(
+    traffic: np.ndarray,
+    partition: Sequence[int],
+    params: MachineParams,
+) -> float:
+    """Predicted multiphase time for an arbitrary traffic matrix.
+
+    Lockstep steps: each costs ``λ_eff + τ·max(load) + δ_eff·hops``;
+    shuffles charge ρ over each node's *peak held volume* per phase
+    (conservative); global sync per phase as usual.  For uniform
+    traffic this reproduces :func:`repro.model.cost.multiphase_time`
+    exactly (tested).
+    """
+    matrix, d = _validate(traffic)
+    parts = check_partition(partition, d)
+    steps = route_traffic(matrix, parts)
+    k = len(parts)
+    total = 0.0
+    for _, shift, loads in steps:
+        hops = bin(shift).count("1")
+        total += (
+            params.exchange_latency
+            + params.byte_time * float(loads.max())
+            + params.exchange_hop_time * hops
+        )
+    total += k * params.global_sync_time(d)
+    if k > 1:
+        # each phase ends with one fused permutation pass over the
+        # busiest node's buffer; the initial per-node peak is exact for
+        # uniform traffic (holdings never change size there) and a
+        # first-order estimate under skew
+        held_peak = float(matrix.sum(axis=1).max())
+        total += k * params.permute_time * held_peak
+    return total
+
+
+def best_partition_for_traffic(
+    traffic: np.ndarray, params: MachineParams
+) -> tuple[tuple[int, ...], float]:
+    """Enumerate partitions against the traffic model (§6 extended).
+
+    Returns the best ``(partition, predicted_time)``.
+    """
+    matrix, d = _validate(traffic)
+    best: tuple[tuple[int, ...], float] | None = None
+    for partition in partitions(d):
+        t = traffic_time(matrix, partition, params)
+        if best is None or t < best[1] or (t == best[1] and partition < best[0]):
+            best = (partition, t)
+    assert best is not None
+    return best

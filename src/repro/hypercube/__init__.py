@@ -1,0 +1,41 @@
+"""Hypercube topology substrate.
+
+Models the binary ``d``-cube interconnect of the Intel iPSC-860 class
+machines the paper targets: node labelling, links, e-cube (dimension
+ordered) routing, subcube decompositions, and static contention
+analysis of sets of simultaneously-held circuits.
+"""
+
+from repro.hypercube.contention import (
+    ContentionReport,
+    analyze_contention,
+    count_edge_conflicts,
+    is_edge_contention_free,
+)
+from repro.hypercube.routing import (
+    ecube_hops,
+    ecube_next_hop,
+    ecube_path,
+    ecube_path_edges,
+    path_dimensions,
+)
+from repro.hypercube.subcube import Subcube, phase_bit_groups, subcube_of, subcubes_for_bits
+from repro.hypercube.topology import Hypercube, Link
+
+__all__ = [
+    "ContentionReport",
+    "Hypercube",
+    "Link",
+    "Subcube",
+    "analyze_contention",
+    "count_edge_conflicts",
+    "ecube_hops",
+    "ecube_next_hop",
+    "ecube_path",
+    "ecube_path_edges",
+    "is_edge_contention_free",
+    "path_dimensions",
+    "phase_bit_groups",
+    "subcube_of",
+    "subcubes_for_bits",
+]

@@ -1,0 +1,119 @@
+"""Static contention analysis for sets of simultaneous circuits.
+
+Paper §2: with fixed e-cube routing, two circuits held at the same time
+may share a link (*edge contention*) or an intermediate processor
+(*node contention*).  Measurements on the iPSC-860 showed edge
+contention is "disastrous" for performance while node contention is
+free.  Every schedule used by the exchange algorithms must therefore be
+edge-contention-free; this module provides the checker the tests and
+the schedule validators use, plus diagnostics for schedules that are
+*not* clean (e.g. naive all-to-all bursts, used as a negative baseline
+in the benchmarks).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.hypercube.routing import ecube_path, ecube_path_edges
+from repro.hypercube.topology import Link
+
+__all__ = [
+    "ContentionReport",
+    "analyze_contention",
+    "count_edge_conflicts",
+    "is_edge_contention_free",
+]
+
+
+@dataclass(frozen=True)
+class ContentionReport:
+    """Result of analysing one communication step (a set of circuits).
+
+    Attributes
+    ----------
+    n_circuits:
+        Number of (src, dst) circuits analysed.
+    edge_conflicts:
+        Mapping from directed link to the number of circuits holding
+        it, restricted to links held by two or more circuits.
+    node_conflicts:
+        Mapping from intermediate node label to the number of circuits
+        routed *through* it (endpoints excluded), restricted to nodes
+        shared by two or more circuits.  Harmless on the iPSC-860 but
+        reported for completeness.
+    max_edge_load:
+        Largest number of circuits sharing any directed link (1 for a
+        clean step, 0 when there are no circuits).
+    """
+
+    n_circuits: int
+    edge_conflicts: dict[Link, int] = field(default_factory=dict)
+    node_conflicts: dict[int, int] = field(default_factory=dict)
+    max_edge_load: int = 0
+
+    @property
+    def edge_contention_free(self) -> bool:
+        """True iff no directed link is shared by two circuits."""
+        return not self.edge_conflicts
+
+    @property
+    def node_contention_free(self) -> bool:
+        """True iff no intermediate node is shared by two circuits."""
+        return not self.node_conflicts
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.n_circuits} circuits: "
+            f"{len(self.edge_conflicts)} contended links (max load {self.max_edge_load}), "
+            f"{len(self.node_conflicts)} shared intermediate nodes"
+        )
+
+
+def analyze_contention(circuits: Iterable[tuple[int, int]]) -> ContentionReport:
+    """Analyse a set of circuits held simultaneously.
+
+    Parameters
+    ----------
+    circuits:
+        ``(src, dst)`` pairs, each routed by e-cube.  Pairs with
+        ``src == dst`` are ignored (no circuit is established).
+    """
+    edge_load: Counter[Link] = Counter()
+    node_load: Counter[int] = Counter()
+    n_circuits = 0
+    for src, dst in circuits:
+        if src == dst:
+            continue
+        n_circuits += 1
+        for edge in ecube_path_edges(src, dst):
+            edge_load[edge] += 1
+        for node in ecube_path(src, dst)[1:-1]:
+            node_load[node] += 1
+    edge_conflicts = {edge: load for edge, load in edge_load.items() if load > 1}
+    node_conflicts = {node: load for node, load in node_load.items() if load > 1}
+    max_edge_load = max(edge_load.values(), default=0)
+    return ContentionReport(
+        n_circuits=n_circuits,
+        edge_conflicts=edge_conflicts,
+        node_conflicts=node_conflicts,
+        max_edge_load=max_edge_load,
+    )
+
+
+def is_edge_contention_free(circuits: Iterable[tuple[int, int]]) -> bool:
+    """True iff no two circuits in the set share a directed link."""
+    return analyze_contention(circuits).edge_contention_free
+
+
+def count_edge_conflicts(steps: Sequence[Iterable[tuple[int, int]]]) -> int:
+    """Total number of over-subscribed links across a multi-step schedule.
+
+    Each element of ``steps`` is the set of circuits held during one
+    step; steps are assumed separated by synchronization, so only
+    intra-step sharing counts.
+    """
+    return sum(len(analyze_contention(step).edge_conflicts) for step in steps)

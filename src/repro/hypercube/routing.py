@@ -1,0 +1,96 @@
+"""e-cube (dimension-ordered) routing.
+
+Circuit-switched hypercubes of the iPSC-860 class route every circuit
+with the fixed *e-cube* strategy (paper §2): starting from the source,
+repeatedly flip the **lowest-order** bit in which the current node's
+label differs from the destination's.  The user has no control over the
+path; the algorithms in :mod:`repro.core` are designed around the paths
+this router produces.
+
+The example of paper Figure 1 is reproduced by the tests: the path
+``0 -> 31`` is ``0, 1, 3, 7, 15, 31`` and shares edge ``3-7`` with the
+path ``2 -> 23``, while sharing only *node* 15 with ``14 -> 11``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.hypercube.topology import Link
+from repro.util.bitops import lowest_set_bit, popcount
+
+__all__ = [
+    "ecube_hops",
+    "ecube_next_hop",
+    "ecube_path",
+    "ecube_path_edges",
+    "path_dimensions",
+]
+
+
+def ecube_next_hop(current: int, dst: int) -> int:
+    """The next node on the e-cube route from ``current`` to ``dst``.
+
+    Raises :class:`ValueError` if already at the destination.
+    """
+    diff = current ^ dst
+    if diff == 0:
+        raise ValueError(f"already at destination {dst}")
+    return current ^ (1 << lowest_set_bit(diff))
+
+
+def ecube_path(src: int, dst: int) -> list[int]:
+    """Full node sequence of the e-cube route, inclusive of endpoints.
+
+    The route corrects differing bits from least to most significant,
+    so its length is ``popcount(src ^ dst) + 1`` nodes.
+
+    >>> ecube_path(0, 31)
+    [0, 1, 3, 7, 15, 31]
+    >>> ecube_path(14, 11)
+    [14, 15, 11]
+    """
+    if src < 0 or dst < 0:
+        raise ValueError("node labels must be non-negative")
+    path = [src]
+    current = src
+    while current != dst:
+        current = ecube_next_hop(current, dst)
+        path.append(current)
+    return path
+
+
+def ecube_path_edges(src: int, dst: int) -> list[Link]:
+    """Directed links held by the circuit ``src -> dst``.
+
+    A circuit-switched transmission holds *every* link of its path for
+    the whole transfer; contention analysis and the simulator both work
+    on this edge set.
+
+    >>> [str(e) for e in ecube_path_edges(2, 23)]
+    ['2->3', '3->7', '7->23']
+    """
+    path = ecube_path(src, dst)
+    return [Link(a, b) for a, b in zip(path, path[1:])]
+
+
+def ecube_hops(src: int, dst: int) -> int:
+    """Number of links on the e-cube route (the cube distance)."""
+    if src < 0 or dst < 0:
+        raise ValueError("node labels must be non-negative")
+    return popcount(src ^ dst)
+
+
+def path_dimensions(src: int, dst: int) -> Iterator[int]:
+    """Dimensions crossed by the route, in traversal (ascending) order.
+
+    e-cube routing corrects bits from the least significant end, so the
+    dimensions come out strictly increasing.
+    """
+    diff = src ^ dst
+    j = 0
+    while diff:
+        if diff & 1:
+            yield j
+        diff >>= 1
+        j += 1

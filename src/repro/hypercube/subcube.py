@@ -1,0 +1,141 @@
+"""Subcube decompositions for multiphase partial exchanges.
+
+Phase ``i`` of the multiphase algorithm (paper §5.2) operates
+simultaneously on all subcubes spanned by a contiguous group of ``d_i``
+label bits: two nodes are in the same subcube iff their labels agree on
+every bit *outside* the group.  This module names those bit groups and
+subcubes and provides the coordinate arithmetic the algorithms and
+schedules use.
+
+The paper processes bit groups from the most significant end: for
+partition ``D = (d1, ..., dk)`` on a ``d``-cube, phase 1 uses bits
+``d-1 .. d-d1``, phase 2 the next ``d2`` bits down, and so on
+(procedure ``Multiphase``, §5.2, with ``start``/``stop`` bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.util.bitops import bit_field
+from repro.util.validation import check_node, check_partition
+
+__all__ = ["Subcube", "phase_bit_groups", "subcube_of", "subcubes_for_bits"]
+
+
+@dataclass(frozen=True)
+class BitGroup:
+    """A contiguous group of label bits ``[lo, lo + width)``.
+
+    ``lo`` is the paper's ``stop`` and ``lo + width - 1`` its ``start``.
+    """
+
+    lo: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.width <= 0:
+            raise ValueError(f"invalid bit group lo={self.lo}, width={self.width}")
+
+    @property
+    def hi(self) -> int:
+        """Index of the group's most significant bit (inclusive)."""
+        return self.lo + self.width - 1
+
+    @property
+    def mask(self) -> int:
+        """Label mask selecting the group's bits."""
+        return ((1 << self.width) - 1) << self.lo
+
+    def coordinate(self, node: int) -> int:
+        """The node's position within its subcube (the group bits)."""
+        return bit_field(node, self.lo, self.width)
+
+    def base(self, node: int) -> int:
+        """The node's label with the group bits cleared.
+
+        Nodes sharing a base belong to the same subcube of this group.
+        """
+        return node & ~self.mask
+
+    def member(self, base: int, coordinate: int) -> int:
+        """Label of the subcube member at ``coordinate`` above ``base``."""
+        if base & self.mask:
+            raise ValueError(f"base {base} has bits set inside the group {self}")
+        if not 0 <= coordinate < (1 << self.width):
+            raise ValueError(f"coordinate {coordinate} out of range for width {self.width}")
+        return base | (coordinate << self.lo)
+
+
+@dataclass(frozen=True)
+class Subcube:
+    """One subcube of a decomposition: a bit group plus a fixed base."""
+
+    group: BitGroup
+    base: int
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the subcube (the group width)."""
+        return self.group.width
+
+    @property
+    def n_nodes(self) -> int:
+        return 1 << self.group.width
+
+    def nodes(self) -> Iterator[int]:
+        """Members of the subcube in coordinate order."""
+        for c in range(self.n_nodes):
+            yield self.group.member(self.base, c)
+
+    def contains(self, node: int) -> bool:
+        return self.group.base(node) == self.base
+
+    def coordinate(self, node: int) -> int:
+        """Coordinate of ``node`` within this subcube."""
+        if not self.contains(node):
+            raise ValueError(f"node {node} is not in subcube base={self.base}, group={self.group}")
+        return self.group.coordinate(node)
+
+
+def phase_bit_groups(partition: Sequence[int], d: int) -> list[BitGroup]:
+    """Bit groups for each phase of a multiphase partition.
+
+    Follows the paper's MSB-first convention: the first part claims the
+    top ``d1`` bits, the next part the ``d2`` bits below, etc.
+
+    >>> [(g.lo, g.width) for g in phase_bit_groups((2, 1), 3)]
+    [(1, 2), (0, 1)]
+    """
+    parts = check_partition(partition, d)
+    groups: list[BitGroup] = []
+    start = d - 1
+    for di in parts:
+        stop = start - di + 1
+        groups.append(BitGroup(lo=stop, width=di))
+        start = stop - 1
+    return groups
+
+
+def subcube_of(node: int, group: BitGroup, d: int) -> Subcube:
+    """The subcube containing ``node`` for the given bit group."""
+    check_node(node, d)
+    return Subcube(group=group, base=group.base(node))
+
+
+def subcubes_for_bits(group: BitGroup, d: int) -> Iterator[Subcube]:
+    """All disjoint subcubes induced by a bit group on a ``d``-cube.
+
+    There are ``2**(d - width)`` of them; together they partition the
+    node set.
+    """
+    if group.hi >= d:
+        raise ValueError(f"bit group {group} does not fit in a {d}-cube")
+    outside_bits = [j for j in range(d) if not (group.lo <= j <= group.hi)]
+    for packed in range(1 << len(outside_bits)):
+        base = 0
+        for idx, j in enumerate(outside_bits):
+            if (packed >> idx) & 1:
+                base |= 1 << j
+        yield Subcube(group=group, base=base)

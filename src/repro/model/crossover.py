@@ -1,0 +1,92 @@
+"""SE/OCS crossover analysis (paper §4.3).
+
+Equating eqs. (1) and (2) gives the block size below which Standard
+Exchange beats the Optimal Circuit-Switched algorithm::
+
+        (2**d - d - 1)·λ + d·(2**(d-1) - 1)·δ
+    m < -------------------------------------------
+        (d·2**(d-1) - 2**d + 1)·τ + d·2**d·ρ
+
+For the hypothetical machine of §4.3 (τ = ρ = 1, λ = 200, δ = 20,
+d = 6) the threshold is just under 30 bytes, which the paper quotes as
+"blocks of size less than 30".
+"""
+
+from __future__ import annotations
+
+from repro.model.cost import multiphase_time, optimal_time, standard_time
+from repro.model.params import MachineParams
+from repro.util.validation import check_dimension
+
+__all__ = ["crossover_block_size", "empirical_crossover", "standard_wins"]
+
+
+def crossover_block_size(d: int, params: MachineParams) -> float:
+    """The closed-form SE/OCS crossover block size (bytes).
+
+    Standard Exchange is faster for ``m`` strictly below the returned
+    value (infinite if OCS never wins, which cannot happen for d >= 2
+    with positive τ).
+
+    >>> from repro.model.params import hypothetical
+    >>> 29 < crossover_block_size(6, hypothetical()) < 30
+    True
+    """
+    check_dimension(d, minimum=2)
+    lam, tau = params.latency, params.byte_time
+    delta, rho = params.hop_time, params.permute_time
+    n = 1 << d
+    half = n >> 1
+    numerator = (n - d - 1) * lam + d * (half - 1) * delta
+    denominator = (d * half - n + 1) * tau + d * n * rho
+    if denominator <= 0:
+        return float("inf")
+    return numerator / denominator
+
+
+def standard_wins(m: float, d: int, params: MachineParams) -> bool:
+    """True iff eq. (1) predicts SE strictly faster than OCS at ``m``."""
+    return standard_time(m, d, params) < optimal_time(m, d, params)
+
+
+def empirical_crossover(
+    d: int,
+    params: MachineParams,
+    *,
+    partition_a: tuple[int, ...] | None = None,
+    partition_b: tuple[int, ...] | None = None,
+    m_max: float = 4096.0,
+    tol: float = 1e-6,
+) -> float | None:
+    """Crossover block size between two partitions by bisection on the
+    *full* calibrated model (including sync and shuffle overheads).
+
+    Defaults compare SE (``(1,)*d``) against OCS (``(d,)``).  Returns
+    the block size where the two predicted times are equal, or ``None``
+    if the sign never changes on ``[0, m_max]``.
+    """
+    check_dimension(d, minimum=1)
+    pa = partition_a if partition_a is not None else (1,) * d
+    pb = partition_b if partition_b is not None else (d,)
+
+    def diff(m: float) -> float:
+        return multiphase_time(m, d, pa, params) - multiphase_time(m, d, pb, params)
+
+    lo, hi = 0.0, float(m_max)
+    flo, fhi = diff(lo), diff(hi)
+    if flo == 0.0 and fhi == 0.0:
+        return None  # identical cost curves: no crossover to report
+    if flo == 0.0:
+        return lo
+    if flo * fhi > 0:
+        return None
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        fmid = diff(mid)
+        if fmid == 0.0:
+            return mid
+        if flo * fmid < 0:
+            hi = mid
+        else:
+            lo, flo = mid, fmid
+    return 0.5 * (lo + hi)

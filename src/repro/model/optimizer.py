@@ -1,0 +1,165 @@
+"""Choosing the best partition for a block size (paper §6).
+
+For a ``d``-cube there are ``p(d)`` candidate multiphase algorithms —
+a "trivial number" to enumerate (42 for the thousand-node cubes of
+1990).  The optimizer evaluates the analytic model for every partition
+at a given block size, returns the best, and sweeps block-size ranges
+to build the *hull of optimality* plotted in Figures 4–6: the
+lower envelope of the per-partition cost curves, annotated with the
+partition owning each segment.
+
+Since the ordering of parts never changes the modelled cost (the tests
+assert this over all compositions), enumeration is over canonical
+decreasing partitions only.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.partitions import partitions
+from repro.model.cost import multiphase_time
+from repro.model.params import MachineParams
+from repro.util.validation import check_block_size, check_dimension
+
+__all__ = [
+    "OptimalChoice",
+    "OptimizerTable",
+    "best_partition",
+    "evaluate_partitions",
+    "hull_of_optimality",
+]
+
+
+@dataclass(frozen=True)
+class OptimalChoice:
+    """The winning partition at one block size, with runners-up."""
+
+    m: float
+    partition: tuple[int, ...]
+    time: float
+    ranking: tuple[tuple[tuple[int, ...], float], ...]
+
+    def speedup_over(self, partition: Sequence[int]) -> float:
+        """How much faster the winner is than ``partition`` (>= 1)."""
+        lookup = dict(self.ranking)
+        other = lookup[tuple(sorted(partition, reverse=True))]
+        return other / self.time if self.time > 0 else float("inf")
+
+
+def evaluate_partitions(
+    m: float,
+    d: int,
+    params: MachineParams,
+    *,
+    candidates: Iterable[tuple[int, ...]] | None = None,
+) -> list[tuple[tuple[int, ...], float]]:
+    """Model every candidate partition at block size ``m``.
+
+    Returns ``(partition, predicted_time)`` pairs sorted by time.
+    """
+    check_block_size(m)
+    check_dimension(d, minimum=1)
+    pool = list(candidates) if candidates is not None else list(partitions(d))
+    scored = [(p, multiphase_time(m, d, p, params)) for p in pool]
+    scored.sort(key=lambda item: (item[1], item[0]))
+    return scored
+
+
+def best_partition(
+    m: float,
+    d: int,
+    params: MachineParams,
+    *,
+    candidates: Iterable[tuple[int, ...]] | None = None,
+) -> OptimalChoice:
+    """The model-optimal partition for block size ``m``.
+
+    >>> from repro.model.params import ipsc860
+    >>> best_partition(40.0, 7, ipsc860()).partition
+    (4, 3)
+    """
+    ranking = evaluate_partitions(m, d, params, candidates=candidates)
+    winner, time = ranking[0]
+    return OptimalChoice(m=float(m), partition=winner, time=time, ranking=tuple(ranking))
+
+
+@dataclass(frozen=True)
+class OptimizerTable:
+    """Precomputed optimal-partition lookup over a block-size range.
+
+    The paper notes the enumeration "needs to be done only once and the
+    optimal combination stored for repeated future use"; this is that
+    stored table.  ``boundaries[i]`` is the block size at which the
+    optimal partition switches from ``segments[i]`` to
+    ``segments[i+1]``.
+    """
+
+    d: int
+    params_name: str
+    boundaries: tuple[float, ...]
+    segments: tuple[tuple[int, ...], ...]
+
+    def lookup(self, m: float) -> tuple[int, ...]:
+        """The stored optimal partition for block size ``m``."""
+        check_block_size(m)
+        return self.segments[bisect_right(self.boundaries, m)]
+
+    @property
+    def hull_partitions(self) -> tuple[tuple[int, ...], ...]:
+        """Distinct partitions on the hull, in block-size order."""
+        seen: list[tuple[int, ...]] = []
+        for seg in self.segments:
+            if not seen or seen[-1] != seg:
+                seen.append(seg)
+        return tuple(seen)
+
+
+def hull_of_optimality(
+    d: int,
+    params: MachineParams,
+    *,
+    m_max: float = 400.0,
+    resolution: float = 0.25,
+    candidates: Iterable[tuple[int, ...]] | None = None,
+) -> OptimizerTable:
+    """Sweep block sizes and record where the optimal partition changes.
+
+    ``resolution`` bounds the boundary-location error; segment switches
+    are refined by bisection to ~1e-3 bytes.  The default 0–400 byte
+    range matches the x-axis of Figures 4–6.
+    """
+    check_dimension(d, minimum=1)
+    pool = list(candidates) if candidates is not None else list(partitions(d))
+
+    def winner(m: float) -> tuple[int, ...]:
+        return min(pool, key=lambda p: (multiphase_time(m, d, p, params), p))
+
+    segments: list[tuple[int, ...]] = []
+    boundaries: list[float] = []
+    m = 0.0
+    current = winner(m)
+    segments.append(current)
+    while m < m_max:
+        m_next = min(m + resolution, m_max)
+        nxt = winner(m_next)
+        if nxt != current:
+            lo, hi = m, m_next
+            while hi - lo > 1e-3:
+                mid = 0.5 * (lo + hi)
+                if winner(mid) == current:
+                    lo = mid
+                else:
+                    hi = mid
+            boundaries.append(0.5 * (lo + hi))
+            segments.append(nxt)
+            current = nxt
+        m = m_next
+    return OptimizerTable(
+        d=d,
+        params_name=params.name,
+        boundaries=tuple(boundaries),
+        segments=tuple(segments),
+    )

@@ -1,0 +1,86 @@
+"""Persistence for optimizer tables (paper §6).
+
+"...it needs to be done only once and the optimal combination stored
+for repeated future use."  This module is that store: optimizer tables
+serialize to a small JSON document together with the machine
+parameters they were built from, and loading validates the parameter
+fingerprint so a table is never silently reused on a differently
+calibrated machine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.model.optimizer import OptimizerTable
+from repro.model.params import MachineParams
+
+__all__ = ["load_table", "save_table", "table_to_dict", "table_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def table_to_dict(table: OptimizerTable, params: MachineParams) -> dict:
+    """JSON-ready representation of a table plus its calibration."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "d": table.d,
+        "params": asdict(params),
+        "boundaries": list(table.boundaries),
+        "segments": [list(segment) for segment in table.segments],
+    }
+
+
+def table_from_dict(doc: dict) -> tuple[OptimizerTable, MachineParams]:
+    """Inverse of :func:`table_to_dict`, with validation."""
+    if doc.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported optimizer-table format {doc.get('format_version')!r}; "
+            f"expected {_FORMAT_VERSION}"
+        )
+    params = MachineParams(**doc["params"])
+    boundaries = tuple(float(b) for b in doc["boundaries"])
+    segments = tuple(tuple(int(p) for p in segment) for segment in doc["segments"])
+    if len(segments) != len(boundaries) + 1:
+        raise ValueError(
+            f"corrupt table: {len(segments)} segments for {len(boundaries)} boundaries"
+        )
+    d = int(doc["d"])
+    for segment in segments:
+        if sum(segment) != d:
+            raise ValueError(f"corrupt table: segment {segment} does not partition {d}")
+    table = OptimizerTable(
+        d=d,
+        params_name=params.name,
+        boundaries=boundaries,
+        segments=segments,
+    )
+    return table, params
+
+
+def save_table(table: OptimizerTable, params: MachineParams, path: str | Path) -> Path:
+    """Write a table to ``path`` (JSON)."""
+    path = Path(path)
+    path.write_text(json.dumps(table_to_dict(table, params), indent=2) + "\n")
+    return path
+
+
+def load_table(
+    path: str | Path, *, expected_params: MachineParams | None = None
+) -> tuple[OptimizerTable, MachineParams]:
+    """Read a table, optionally pinning the calibration it must match.
+
+    Raises :class:`ValueError` if ``expected_params`` differs from the
+    stored calibration — the guard against reusing a table across
+    machines.
+    """
+    doc = json.loads(Path(path).read_text())
+    table, params = table_from_dict(doc)
+    if expected_params is not None and params != expected_params:
+        raise ValueError(
+            f"stored table was built for {params.name!r} with different constants; "
+            f"rebuild for {expected_params.name!r}"
+        )
+    return table, params

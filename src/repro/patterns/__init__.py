@@ -1,0 +1,33 @@
+"""Other collective patterns on circuit-switched hypercubes (paper §9).
+
+The paper closes by asking how the all-to-all broadcast, one-to-all
+personalized, and one-to-all broadcast patterns [Johnsson & Ho] fare
+under the same machine model, noting that the complete exchange —
+being the densest requirement — upper-bounds them all.  This
+subpackage implements the three patterns (data-level, cost model, and
+simulated programs), plus circuit-switched variants that exploit long
+circuits the way the paper's optimal exchange does, and verifies the
+upper-bound relationship.
+"""
+
+from repro.patterns.allgather import allgather, allgather_time, simulate_allgather
+from repro.patterns.broadcast import broadcast, broadcast_time, simulate_broadcast
+from repro.patterns.scatter import (
+    scatter,
+    scatter_direct_time,
+    scatter_time,
+    simulate_scatter,
+)
+
+__all__ = [
+    "allgather",
+    "allgather_time",
+    "broadcast",
+    "broadcast_time",
+    "scatter",
+    "scatter_direct_time",
+    "scatter_time",
+    "simulate_allgather",
+    "simulate_broadcast",
+    "simulate_scatter",
+]

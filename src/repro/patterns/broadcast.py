@@ -1,0 +1,110 @@
+"""One-to-all broadcast on the hypercube (paper §9, ref. [8]).
+
+The classical binomial-tree (subcube-doubling) broadcast: in step
+``j`` every node that already holds the message forwards it across
+dimension ``j``, doubling the informed set; after ``d`` steps all
+``2**d`` nodes hold it.  All transfers are nearest-neighbour, so the
+schedule is trivially contention-free, and on a circuit-switched
+machine each step costs ``λ + τ·m + δ``.
+
+Total predicted time: ``t_bcast(m, d) = d·(λ + τ·m + δ)`` — far below
+the complete-exchange bound, as §3's upper-bound argument requires
+(tested in :mod:`tests.patterns.test_bounds`).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.model.params import MachineParams
+from repro.sim.machine import RunResult, SimulatedHypercube
+from repro.sim.node import NodeContext
+from repro.util.validation import check_dimension, check_node
+
+__all__ = ["broadcast", "broadcast_time", "broadcast_program", "simulate_broadcast"]
+
+
+def broadcast(message: np.ndarray, root: int, d: int) -> list[np.ndarray]:
+    """Data-level binomial broadcast: every node's received copy.
+
+    Executes the subcube-doubling schedule explicitly (not just a
+    fan-out copy) so the tests can check the schedule, then returns the
+    per-node results.
+
+    >>> import numpy as np
+    >>> out = broadcast(np.array([1, 2], dtype=np.uint8), root=3, d=2)
+    >>> [o.tolist() for o in out]
+    [[1, 2], [1, 2], [1, 2], [1, 2]]
+    """
+    check_dimension(d)
+    check_node(root, d)
+    n = 1 << d
+    message = np.asarray(message)
+    holds: list[np.ndarray | None] = [None] * n
+    holds[root] = message.copy()
+    for j in range(d):
+        for node in range(n):
+            relative = node ^ root
+            if holds[node] is not None and relative < (1 << j):
+                partner = node ^ (1 << j)
+                holds[partner] = holds[node].copy()
+    assert all(h is not None for h in holds), "binomial schedule failed to cover the cube"
+    return holds  # type: ignore[return-value]
+
+
+def broadcast_time(m: float, d: int, params: MachineParams) -> float:
+    """Predicted binomial-broadcast time: ``d·(λ + τ·m + δ)`` plus the
+    initial global synchronization (FORCED discipline, §7.3)."""
+    check_dimension(d)
+    return d * (params.latency + params.byte_time * m + params.hop_time) + (
+        params.global_sync_time(d)
+    )
+
+
+def broadcast_program(ctx: NodeContext, *, message: np.ndarray | None, root: int) -> Generator:
+    """SPMD node program for the binomial broadcast.
+
+    Uses plain FORCED sends (one-directional traffic needs no pairwise
+    synchronization) with receives posted up front, §7.3 style.
+    """
+    relative = ctx.rank ^ root
+    data = message
+    # the step in which this node is reached: position of its highest
+    # relative bit (root is reached at 'step -1')
+    if relative:
+        arrival_step = relative.bit_length() - 1
+        src = ctx.rank ^ (1 << arrival_step)
+        yield ctx.post_recv(src, tag=arrival_step)
+    yield ctx.barrier()
+    if relative:
+        data = yield ctx.recv(src, tag=arrival_step)
+    start = relative.bit_length() if relative else 0
+    for j in range(start, ctx.d):
+        if relative < (1 << j):
+            partner = ctx.rank ^ (1 << j)
+            yield ctx.send(partner, data, int(np.asarray(data).nbytes), tag=j)
+    return data
+
+
+def simulate_broadcast(
+    d: int, m: int, params: MachineParams, *, root: int = 0
+) -> tuple[float, RunResult]:
+    """Measure the binomial broadcast on the simulated machine.
+
+    Returns ``(virtual_time_us, run_result)``; every node's payload is
+    verified equal to the root's message.
+    """
+    check_dimension(d)
+    check_node(root, d)
+    message = np.arange(m, dtype=np.int64).astype(np.uint8)
+    machine = SimulatedHypercube(d, params)
+    run = machine.run(broadcast_program, message=message, root=root)
+
+    def as_array(x):
+        return np.asarray(x, dtype=np.uint8)
+
+    for rank, got in enumerate(run.node_results):
+        assert np.array_equal(as_array(got), message), f"node {rank} got a wrong copy"
+    return run.time, run

@@ -1,0 +1,162 @@
+"""One-to-all personalized communication — scatter (paper §9, ref. [8]).
+
+The root holds ``2**d`` distinct blocks, one per node.  Two algorithms
+in the spirit of the paper's pair:
+
+* **recursive halving** down the binomial tree: step ``i`` forwards the
+  half of the remaining data belonging to the other subcube
+  (``d`` transmissions of ``m·2**(d-i)`` bytes on the root's critical
+  path) — the store-and-forward analogue of Standard Exchange;
+* **direct circuits**: the root establishes a circuit to every node in
+  turn (``2**d - 1`` transmissions of one block) — the analogue of the
+  Optimal Circuit-Switched algorithm.  Unlike the complete exchange,
+  scatter gives the circuit-switched variant no time advantage: the
+  root must push ``τ·m·(2**d - 1)`` bytes through its own port either
+  way, so direct circuits only add ``2**d - 1 - d`` extra startups.
+  Its practical appeal on the real machine is avoiding store-and-
+  forward buffering at intermediate nodes, not speed — an asymmetry
+  with the exchange (where *every* node is a source) that the pattern
+  benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.model.params import MachineParams
+from repro.sim.machine import RunResult, SimulatedHypercube
+from repro.sim.node import NodeContext
+from repro.util.bitops import popcount
+from repro.util.validation import check_dimension, check_node
+
+__all__ = [
+    "scatter",
+    "scatter_direct_time",
+    "scatter_program",
+    "scatter_time",
+    "simulate_scatter",
+]
+
+
+def scatter(blocks: np.ndarray, root: int, d: int) -> list[np.ndarray]:
+    """Data-level recursive-halving scatter.
+
+    ``blocks`` is the root's ``(2**d, m)`` array; block ``j`` is for
+    node ``j``.  Returns each node's received block, moving data along
+    the halving schedule explicitly.
+
+    >>> import numpy as np
+    >>> out = scatter(np.arange(8, dtype=np.uint8).reshape(4, 2), root=0, d=2)
+    >>> [o.tolist() for o in out]
+    [[0, 1], [2, 3], [4, 5], [6, 7]]
+    """
+    check_dimension(d)
+    check_node(root, d)
+    n = 1 << d
+    blocks = np.asarray(blocks)
+    if blocks.shape[0] != n:
+        raise ValueError(f"root must hold {n} blocks, got {blocks.shape[0]}")
+    # holdings[x] = dict dest -> block currently buffered at node x
+    holdings: list[dict[int, np.ndarray]] = [dict() for _ in range(n)]
+    holdings[root] = {j: blocks[j].copy() for j in range(n)}
+    for step, j in enumerate(range(d - 1, -1, -1)):
+        for node in range(n):
+            relative = node ^ root
+            # nodes active at this step are those already reached:
+            # relative has no bits at or below j+... they hold a
+            # contiguous (in relative terms) range of destinations
+            if holdings[node] and (relative & ((1 << (j + 1)) - 1)) == 0:
+                partner = node ^ (1 << j)
+                moving = {
+                    dest: blk
+                    for dest, blk in holdings[node].items()
+                    if (dest ^ root) & (1 << j)
+                } if not (relative & (1 << j)) else {}
+                # only the lower subcube holder forwards the upper half
+                if moving:
+                    for dest in moving:
+                        del holdings[node][dest]
+                    holdings[partner].update(moving)
+    out = []
+    for node in range(n):
+        assert set(holdings[node]) == {node}, (
+            f"node {node} ended with destinations {sorted(holdings[node])}"
+        )
+        out.append(holdings[node][node])
+    return out
+
+
+def scatter_time(m: float, d: int, params: MachineParams) -> float:
+    """Recursive-halving scatter on the root's critical path:
+    ``Σ_{i=1..d} (λ + τ·m·2**(d-i) + δ) = d·(λ + δ) + τ·m·(2**d - 1)``
+    plus the global synchronization."""
+    check_dimension(d)
+    n = 1 << d
+    return (
+        d * (params.latency + params.hop_time)
+        + params.byte_time * m * (n - 1)
+        + params.global_sync_time(d)
+    )
+
+
+def scatter_direct_time(m: float, d: int, params: MachineParams) -> float:
+    """Direct-circuit scatter: ``2**d - 1`` root transmissions of one
+    block each, serialized at the root's port:
+    ``Σ_{i=1..n-1} (λ + τ·m + δ·popcount(i))`` plus global sync."""
+    check_dimension(d)
+    n = 1 << d
+    startups = (n - 1) * (params.latency + params.byte_time * m)
+    distance = params.hop_time * sum(popcount(i) for i in range(1, n))
+    return startups + distance + params.global_sync_time(d)
+
+
+def scatter_program(ctx: NodeContext, *, blocks: np.ndarray | None, root: int) -> Generator:
+    """SPMD program for recursive-halving scatter (FORCED discipline)."""
+    n, d = ctx.n, ctx.d
+    relative = ctx.rank ^ root
+    if relative:
+        # dimensions are processed from high to low, so a node is first
+        # reached across the LOWEST set bit of its relative address
+        arrival_j = (relative & -relative).bit_length() - 1
+        src = ctx.rank ^ (1 << arrival_j)
+        yield ctx.post_recv(src, tag=arrival_j)
+    yield ctx.barrier()
+
+    if relative == 0:
+        mine: dict[int, np.ndarray] = {j: np.asarray(blocks)[j] for j in range(n)}
+    else:
+        received = yield ctx.recv(src, tag=arrival_j)
+        mine = dict(received)
+
+    # forward lower-dimension halves (steps proceed from high dims down;
+    # we participate in steps below our arrival dimension)
+    top = arrival_j if relative else d
+    for j in range(top - 1, -1, -1):
+        moving = {dest: blk for dest, blk in mine.items() if (dest ^ root) & (1 << j)}
+        if moving:
+            for dest in moving:
+                del mine[dest]
+            nbytes = int(sum(np.asarray(b).nbytes for b in moving.values()))
+            yield ctx.send(ctx.rank ^ (1 << j), moving, nbytes, tag=j)
+    assert set(mine) == {ctx.rank}
+    return mine[ctx.rank]
+
+
+def simulate_scatter(
+    d: int, m: int, params: MachineParams, *, root: int = 0
+) -> tuple[float, RunResult]:
+    """Measure the recursive-halving scatter; blocks byte-verified."""
+    check_dimension(d)
+    check_node(root, d)
+    n = 1 << d
+    rng = np.random.default_rng(12345)
+    blocks = rng.integers(0, 256, size=(n, m), dtype=np.uint8)
+    machine = SimulatedHypercube(d, params)
+    run = machine.run(scatter_program, blocks=blocks, root=root)
+    for rank, got in enumerate(run.node_results):
+        assert np.array_equal(np.asarray(got, dtype=np.uint8), blocks[rank]), (
+            f"node {rank} received the wrong block"
+        )
+    return run.time, run

@@ -1,0 +1,31 @@
+"""Discrete-event simulator of a circuit-switched hypercube.
+
+The substrate substituting for the paper's Intel iPSC-860: coroutine
+processes over a deterministic event engine, e-cube circuit reservation
+with link-contention serialization, FORCED/UNFORCED message semantics,
+pairwise synchronized exchanges, and global synchronization — all
+calibrated by :class:`repro.model.params.MachineParams`.
+"""
+
+from repro.sim.engine import Delay, Engine, Process, Request, SimulationError
+from repro.sim.machine import RunResult, SimulatedHypercube
+from repro.sim.network import Grant, Network
+from repro.sim.node import NodeContext
+from repro.sim.trace import BarrierRecord, ShuffleRecord, Trace, TransmissionRecord
+
+__all__ = [
+    "BarrierRecord",
+    "Delay",
+    "Engine",
+    "Grant",
+    "Network",
+    "NodeContext",
+    "Process",
+    "Request",
+    "RunResult",
+    "ShuffleRecord",
+    "SimulatedHypercube",
+    "SimulationError",
+    "Trace",
+    "TransmissionRecord",
+]

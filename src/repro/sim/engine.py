@@ -1,0 +1,171 @@
+"""Discrete-event engine with coroutine processes.
+
+A minimal, deterministic event core in the SimPy style: *processes*
+are Python generators that ``yield`` request objects; the engine
+advances virtual time (float microseconds) through a heap of scheduled
+callbacks and resumes each process when its current request completes,
+sending the request's result back into the generator.
+
+Determinism: events at equal times fire in schedule order (a
+monotonically increasing sequence number breaks ties), so simulations
+are exactly reproducible — a property the regression tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = ["Engine", "Process", "Request", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal conditions inside a simulation (e.g. a FORCED
+    message arriving with no posted receive under strict semantics, or
+    a deadlocked run)."""
+
+
+class Request:
+    """Base class for things a process can ``yield``.
+
+    Subclasses implement :meth:`activate`, wiring themselves into the
+    engine/services; when the request completes, they call
+    ``process.resume(value)`` (possibly immediately).
+    """
+
+    def activate(self, engine: "Engine", process: "Process") -> None:
+        raise NotImplementedError
+
+
+class Delay(Request):
+    """Pure passage of virtual time (compute, memory permutation...)."""
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"delay must be >= 0, got {duration}")
+        self.duration = duration
+
+    def activate(self, engine: "Engine", process: "Process") -> None:
+        engine.schedule(self.duration, lambda: process.resume(None))
+
+
+class Process:
+    """A running generator coroutine.
+
+    The generator yields :class:`Request` objects and receives each
+    request's result as the value of the ``yield`` expression.  The
+    generator's ``return`` value is captured in :attr:`result`.
+    """
+
+    def __init__(self, engine: "Engine", generator: Generator[Request, Any, Any], name: str) -> None:
+        self.engine = engine
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.end_time: float | None = None
+        #: set when the process is waiting on a request (for deadlock
+        #: diagnostics)
+        self.waiting_on: Request | None = None
+
+    def start(self) -> None:
+        """Schedule the first resumption at the current time."""
+        self.engine.schedule(0.0, lambda: self.resume(None))
+
+    def resume(self, value: Any) -> None:
+        """Advance the generator with ``value`` and activate its next
+        request."""
+        if self.finished:
+            raise SimulationError(f"process {self.name} resumed after completion")
+        self.waiting_on = None
+        try:
+            request = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.end_time = self.engine.now
+            self.engine._process_finished(self)
+            return
+        if not isinstance(request, Request):
+            raise SimulationError(
+                f"process {self.name} yielded {type(request).__name__}; expected a Request"
+            )
+        self.waiting_on = request
+        request.activate(self.engine, self)
+
+    def fail(self, exc: BaseException) -> None:
+        """Throw an exception into the generator (fatal conditions)."""
+        self.generator.throw(exc)
+
+
+class Engine:
+    """The event loop: a heap of ``(time, seq, callback)`` entries."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+        self._n_events = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        """Number of events dispatched so far (for stats and loop caps)."""
+        return self._n_events
+
+    @property
+    def processes(self) -> list[Process]:
+        return list(self._processes)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` µs from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual time ``time``."""
+        self.schedule(time - self.now, callback)
+
+    def spawn(self, generator: Generator[Request, Any, Any], name: str = "proc") -> Process:
+        """Register and start a new process."""
+        process = Process(self, generator, name)
+        self._processes.append(process)
+        process.start()
+        return process
+
+    def run(self, *, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Dispatch events until the heap drains (or limits hit).
+
+        Returns the final virtual time.  Raises
+        :class:`SimulationError` if processes remain unfinished with an
+        empty heap (deadlock) or the event cap is exceeded.
+        """
+        while self._heap:
+            time, _, callback = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            self.now = time
+            self._n_events += 1
+            if self._n_events > max_events:
+                raise SimulationError(f"event cap {max_events} exceeded at t={self.now}")
+            callback()
+        stuck = [p for p in self._processes if not p.finished]
+        if stuck:
+            detail = ", ".join(
+                f"{p.name} (waiting on {type(p.waiting_on).__name__})" for p in stuck[:8]
+            )
+            raise SimulationError(
+                f"deadlock: {len(stuck)} processes never finished: {detail}"
+            )
+        return self.now
+
+    def _process_finished(self, process: Process) -> None:
+        """Hook for subclasses/services; default does nothing."""
+
+    @staticmethod
+    def all_finished(processes: Iterable[Process]) -> bool:
+        return all(p.finished for p in processes)

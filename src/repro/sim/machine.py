@@ -1,0 +1,229 @@
+"""The simulated circuit-switched hypercube.
+
+:class:`SimulatedHypercube` assembles the event engine, network, and
+synchronization services, boots one SPMD program per node, and resolves
+the requests the programs yield.  The result of a run carries the
+virtual makespan, every node's return value, and the full trace.
+
+Example
+-------
+>>> from repro.model.params import ipsc860
+>>> machine = SimulatedHypercube(2, ipsc860())
+>>> def program(ctx):
+...     other = ctx.rank ^ 1
+...     data = yield ctx.exchange(other, payload=ctx.rank, nbytes=8)
+...     return data
+>>> result = machine.run(program)
+>>> [result.node_results[r] for r in range(4)]
+[1, 0, 3, 2]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.hypercube.topology import Hypercube
+from repro.model.params import MachineParams
+from repro.sim.engine import Engine, Process, Request, SimulationError
+from repro.sim.node import (
+    BarrierReq,
+    ExchangeReq,
+    NodeContext,
+    PhaseMarkReq,
+    PostRecvReq,
+    RecvReq,
+    SendReq,
+    ShuffleReq,
+    _Envelope,
+)
+from repro.sim.network import Network
+from repro.sim.trace import BarrierRecord, ShuffleRecord, Trace
+
+__all__ = ["RunResult", "SimulatedHypercube"]
+
+ProgramFactory = Callable[[NodeContext], Generator]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated SPMD run."""
+
+    #: virtual time at which the last process finished (µs)
+    time: float
+    #: per-rank program return values
+    node_results: list[Any]
+    #: full event trace
+    trace: Trace
+    #: number of engine events dispatched
+    n_events: int = 0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+class SimulatedHypercube:
+    """A circuit-switched hypercube with calibrated timing.
+
+    Parameters
+    ----------
+    d:
+        Cube dimension.
+    params:
+        Machine constants (see :mod:`repro.model.params`).
+    strict_forced:
+        When True (default), a FORCED message arriving with no posted
+        receive raises :class:`SimulationError` — the paper calls this
+        situation "fatal".  When False the message is silently dropped
+        and recorded in the trace (useful for demonstrating *why* the
+        global synchronization is required).
+    """
+
+    def __init__(self, d: int, params: MachineParams, *, strict_forced: bool = True) -> None:
+        self.cube = Hypercube(d)
+        self.params = params
+        self.strict_forced = strict_forced
+        self.engine = Engine()
+        self.trace = Trace()
+        self.network = Network(self.cube, params, self.trace)
+        self.contexts = [NodeContext(self, rank) for rank in self.cube.nodes()]
+        # pairwise-exchange rendezvous: (a, b, tag) -> (request, process)
+        self._rendezvous: dict[tuple[int, int, int], tuple[ExchangeReq, Process]] = {}
+        # barrier bookkeeping
+        self._barrier_waiters: list[Process] = []
+        self._barrier_first_arrival: float = 0.0
+        self._phase_marked: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # running programs
+    # ------------------------------------------------------------------
+    def run(self, program: ProgramFactory, **kwargs: Any) -> RunResult:
+        """Boot ``program(ctx, **kwargs)`` on every node and simulate to
+        completion."""
+        processes = []
+        for ctx in self.contexts:
+            generator = program(ctx, **kwargs) if kwargs else program(ctx)
+            processes.append(self.engine.spawn(generator, name=f"node{ctx.rank}"))
+        time = self.engine.run()
+        return RunResult(
+            time=time,
+            node_results=[p.result for p in processes],
+            trace=self.trace,
+            n_events=self.engine.n_events,
+        )
+
+    # ------------------------------------------------------------------
+    # request dispatch (called by _MachineRequest.activate)
+    # ------------------------------------------------------------------
+    def _activate(self, request: Request, process: Process) -> None:
+        if isinstance(request, ExchangeReq):
+            self._do_exchange(request, process)
+        elif isinstance(request, SendReq):
+            self._do_send(request, process)
+        elif isinstance(request, RecvReq):
+            self._do_recv(request, process)
+        elif isinstance(request, PostRecvReq):
+            request.ctx.state.post(request.src, request.tag)
+            self.engine.schedule(0.0, lambda: process.resume(None))
+        elif isinstance(request, BarrierReq):
+            self._do_barrier(process)
+        elif isinstance(request, ShuffleReq):
+            self._do_shuffle(request, process)
+        elif isinstance(request, PhaseMarkReq):
+            if request.phase_index not in self._phase_marked:
+                self._phase_marked.add(request.phase_index)
+                self.trace.mark_phase(request.phase_index, self.engine.now)
+            self.engine.schedule(0.0, lambda: process.resume(None))
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown request type {type(request).__name__}")
+
+    # ------------------------------------------------------------------
+    def _do_exchange(self, request: ExchangeReq, process: Process) -> None:
+        me = request.ctx.rank
+        other = request.partner
+        key = (min(me, other), max(me, other), request.tag)
+        waiting = self._rendezvous.pop(key, None)
+        if waiting is None:
+            self._rendezvous[key] = (request, process)
+            return
+        other_req, other_proc = waiting
+        if other_req.ctx.rank != other or other_req.partner != me:
+            raise SimulationError(
+                f"exchange mismatch: node {me} wants partner {other}, "
+                f"node {other_req.ctx.rank} wants {other_req.partner} (tag {request.tag})"
+            )
+        grant = self.network.start_exchange(
+            self.engine.now, me, other, request.nbytes, other_req.nbytes, request.tag
+        )
+        self.engine.at(grant.t_end, lambda: process.resume(other_req.payload))
+        self.engine.at(grant.t_end, lambda: other_proc.resume(request.payload))
+
+    def _do_send(self, request: SendReq, process: Process) -> None:
+        src = request.ctx.rank
+        grant = self.network.start_message(
+            self.engine.now, src, request.dst, request.nbytes, request.tag,
+            forced=request.forced,
+        )
+        envelope = _Envelope(src, request.dst, request.tag, request.payload, request.nbytes)
+        self.engine.at(grant.t_end, lambda: self._deliver(envelope, request.forced))
+        self.engine.at(grant.t_end, lambda: process.resume(None))
+
+    def _deliver(self, envelope: _Envelope, forced: bool) -> None:
+        state = self.contexts[envelope.dst].state
+        blocked = state.match_blocked(envelope.src, envelope.tag)
+        if blocked is not None:
+            _, proc = blocked
+            proc.resume(envelope.payload)
+            return
+        if forced:
+            if state.consume_posted(envelope.src, envelope.tag):
+                state.buffered.append(envelope)
+                return
+            self.trace.record_drop(envelope.src, envelope.dst, envelope.tag, self.engine.now)
+            if self.strict_forced:
+                raise SimulationError(
+                    f"FORCED message {envelope.src}->{envelope.dst} (tag {envelope.tag}) "
+                    f"arrived at t={self.engine.now:.1f} with no posted receive; "
+                    f"on the real machine it would be discarded (paper §7.3: omitting "
+                    f"the global synchronization is fatal)"
+                )
+            return
+        state.buffered.append(envelope)
+
+    def _do_recv(self, request: RecvReq, process: Process) -> None:
+        state = request.ctx.state
+        envelope = state.match_buffered(request.src, request.tag)
+        if envelope is not None:
+            self.engine.schedule(0.0, lambda: process.resume(envelope.payload))
+            return
+        state.blocked_recvs.append((request, process))
+
+    def _do_barrier(self, process: Process) -> None:
+        if not self._barrier_waiters:
+            self._barrier_first_arrival = self.engine.now
+        self._barrier_waiters.append(process)
+        if len(self._barrier_waiters) < self.cube.n_nodes:
+            return
+        waiters = self._barrier_waiters
+        self._barrier_waiters = []
+        release = self.engine.now + self.params.global_sync_time(self.cube.dimension)
+        self.trace.record_barrier(
+            BarrierRecord(
+                t_first_arrival=self._barrier_first_arrival,
+                t_release=release,
+                n_participants=len(waiters),
+            )
+        )
+        for proc in waiters:
+            self.engine.at(release, lambda p=proc: p.resume(None))
+
+    def _do_shuffle(self, request: ShuffleReq, process: Process) -> None:
+        duration = self.params.shuffle_time(request.nbytes)
+        start = self.engine.now
+        self.trace.record_shuffle(
+            ShuffleRecord(
+                node=request.ctx.rank,
+                nbytes=request.nbytes,
+                t_start=start,
+                t_end=start + duration,
+            )
+        )
+        self.engine.schedule(duration, lambda: process.resume(None))

@@ -1,0 +1,216 @@
+"""Circuit-switched network: link reservation and transfer timing.
+
+A transmission on a circuit-switched hypercube establishes a dedicated
+path (every directed link of its e-cube route) and holds it for the
+whole transfer.  The network model here grants link time by
+*reservation*: a transfer ready at time ``t`` starts at the earliest
+instant all its links are free — ``max(t, free_at(link) for link in
+path)`` — and marks them busy until it completes.  Transfers that share
+a link therefore serialize, reproducing the paper's "disastrous" edge
+contention; transfers that share only nodes are unaffected, matching
+the §2 measurement that node contention has no effect.
+
+Timing follows the §4.3 model: a message of ``m`` bytes over ``h``
+dimensions costs ``λ + τ·m + δ·h``; a pairwise synchronized exchange
+costs ``λ_eff + τ·m + δ_eff·h`` (the zero-byte handshake folded in,
+§7.2/§7.4); an UNFORCED message beyond the eager limit pays a
+reserve–acknowledge round trip first (§7.1).
+
+Endpoint serialization (§7.2): on the iPSC-860 a receive and a
+transmit at the same processor proceed concurrently only when the two
+transfers start simultaneously — which is exactly what the pairwise
+synchronization buys.  Un-synchronized messages therefore also reserve
+a *port* resource at each endpoint, so overlapping unsynchronized
+traffic at a node serializes; synchronized exchanges bypass the ports.
+This is what makes contention-oblivious schedules pay the full
+penalty the paper warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hypercube.routing import ecube_hops, ecube_path_edges
+from repro.hypercube.topology import Hypercube, Link
+from repro.model.params import MachineParams
+from repro.sim.trace import Trace, TransmissionRecord
+
+__all__ = ["Network", "Grant"]
+
+
+@dataclass(frozen=True)
+class Grant:
+    """Outcome of a link reservation: when the circuit starts/ends."""
+
+    t_start: float
+    t_end: float
+
+
+class Network:
+    """Link bookkeeping plus the transfer-time model."""
+
+    def __init__(self, cube: Hypercube, params: MachineParams, trace: Trace) -> None:
+        self.cube = cube
+        self.params = params
+        self.trace = trace
+        #: next-free times of reservable resources: directed links plus
+        #: per-node ports (keyed ("port", node))
+        self._free_at: dict[object, float] = {}
+        #: failed directed links (fault injection): a circuit routed
+        #: through one of these cannot be established
+        self._failed: set[Link] = set()
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def fail_link(self, link: Link, *, both_directions: bool = True) -> None:
+        """Mark a link as failed.  e-cube routing is fixed, so circuits
+        through a failed link cannot be re-routed; attempting one raises
+        :class:`~repro.sim.engine.SimulationError` (the run's failure
+        is the observable — hypercubes of this era had no adaptive
+        fallback).  Used by the failure-injection tests."""
+        self._failed.add(link)
+        if both_directions:
+            self._failed.add(link.reverse)
+
+    def restore_link(self, link: Link, *, both_directions: bool = True) -> None:
+        """Clear a previously injected link failure."""
+        self._failed.discard(link)
+        if both_directions:
+            self._failed.discard(link.reverse)
+
+    def check_links_alive(self, links: set) -> None:
+        """Raise if any link of a prospective circuit has failed."""
+        from repro.sim.engine import SimulationError
+
+        dead = [link for link in links if isinstance(link, Link) and link in self._failed]
+        if dead:
+            raise SimulationError(
+                "circuit requires failed link(s) "
+                + ", ".join(sorted(map(str, dead)))
+                + "; e-cube routing is fixed, no alternative path exists"
+            )
+
+    # ------------------------------------------------------------------
+    # link reservation
+    # ------------------------------------------------------------------
+    def link_free_at(self, link: Link) -> float:
+        return self._free_at.get(link, 0.0)
+
+    @staticmethod
+    def port(node: int) -> tuple[str, int]:
+        """The endpoint-serialization resource of ``node`` (§7.2)."""
+        return ("port", node)
+
+    def reserve(self, t_ready: float, links: set[object], duration: float) -> Grant:
+        """Grant all ``links`` for ``duration`` starting no earlier than
+        ``t_ready``; returns the granted interval.
+
+        Contention-free schedules always get ``t_start == t_ready``
+        (asserted by the tests for every paper schedule).
+        """
+        t_start = t_ready
+        for link in links:
+            t_start = max(t_start, self.link_free_at(link))
+        t_end = t_start + duration
+        for link in links:
+            self._free_at[link] = t_end
+        return Grant(t_start=t_start, t_end=t_end)
+
+    # ------------------------------------------------------------------
+    # path helpers
+    # ------------------------------------------------------------------
+    def circuit_links(self, src: int, dst: int) -> set[Link]:
+        """Directed links held by the circuit ``src -> dst``."""
+        self.cube.validate_node(src)
+        self.cube.validate_node(dst)
+        return set(ecube_path_edges(src, dst))
+
+    def exchange_links(self, a: int, b: int) -> set[Link]:
+        """Links held by a full-duplex pairwise exchange: both e-cube
+        directions (their edge sets differ in general)."""
+        return self.circuit_links(a, b) | self.circuit_links(b, a)
+
+    # ------------------------------------------------------------------
+    # timing model
+    # ------------------------------------------------------------------
+    def message_duration(self, nbytes: int, hops: int, *, forced: bool) -> float:
+        """Wire time of one message (§4.3 model; §7.1 UNFORCED penalty).
+
+        The reserve–acknowledge handshake of a large UNFORCED message
+        is modelled as two zero-byte messages over the same distance,
+        using the zero-byte startup λ₀ where the machine defines one.
+        """
+        p = self.params
+        base = p.latency + p.byte_time * nbytes + p.hop_time * hops
+        if forced or nbytes <= p.unforced_eager_limit:
+            return base
+        handshake_latency = p.sync_latency if p.sync_latency > 0 else p.latency
+        return base + 2.0 * (handshake_latency + p.hop_time * hops)
+
+    def exchange_duration(self, nbytes: int, hops: int) -> float:
+        """Wire time of a pairwise synchronized exchange (§7.2):
+        ``λ_eff + τ·m + δ_eff·h`` with both directions concurrent."""
+        p = self.params
+        return p.exchange_latency + p.byte_time * nbytes + p.exchange_hop_time * hops
+
+    # ------------------------------------------------------------------
+    # transfers (reserve + record)
+    # ------------------------------------------------------------------
+    def start_message(
+        self, t_ready: float, src: int, dst: int, nbytes: int, tag: int, *, forced: bool
+    ) -> Grant:
+        """Reserve the circuit for a one-way message and record it."""
+        hops = ecube_hops(src, dst)
+        duration = self.message_duration(nbytes, hops, forced=forced)
+        resources: set[object] = set(self.circuit_links(src, dst))
+        self.check_links_alive(resources)
+        # Un-synchronized messages serialize with other traffic at both
+        # endpoints (§7.2); synchronized exchanges do not pay this.
+        resources.add(self.port(src))
+        resources.add(self.port(dst))
+        grant = self.reserve(t_ready, resources, duration)
+        self.trace.record_transmission(
+            TransmissionRecord(
+                src=src,
+                dst=dst,
+                nbytes=nbytes,
+                hops=hops,
+                t_request=t_ready,
+                t_start=grant.t_start,
+                t_end=grant.t_end,
+                kind="forced" if forced else "unforced",
+                tag=tag,
+            )
+        )
+        return grant
+
+    def start_exchange(
+        self, t_ready: float, a: int, b: int, nbytes_a: int, nbytes_b: int, tag: int
+    ) -> Grant:
+        """Reserve both directions for a pairwise exchange and record it.
+
+        ``t_ready`` is the rendezvous instant (both partners present).
+        The concurrent bidirectional transfer completes when the larger
+        payload does.
+        """
+        hops = ecube_hops(a, b)
+        duration = self.exchange_duration(max(nbytes_a, nbytes_b), hops)
+        links = self.exchange_links(a, b)
+        self.check_links_alive(links)
+        grant = self.reserve(t_ready, links, duration)
+        for src, dst, nbytes in ((a, b, nbytes_a), (b, a, nbytes_b)):
+            self.trace.record_transmission(
+                TransmissionRecord(
+                    src=src,
+                    dst=dst,
+                    nbytes=nbytes,
+                    hops=hops,
+                    t_request=t_ready,
+                    t_start=grant.t_start,
+                    t_end=grant.t_end,
+                    kind="exchange",
+                    tag=tag,
+                )
+            )
+        return grant

@@ -1,0 +1,209 @@
+"""Bit-manipulation primitives for hypercube arithmetic.
+
+Hypercube node labels are ``d``-bit integers; every structural question
+about the network (neighbourhood, distance, e-cube routing, subcube
+membership, exchange schedules) reduces to bit manipulation on labels.
+This module collects those primitives in one place so that the rest of
+the library reads at the level of the paper's notation.
+
+All functions operate on plain Python ints (arbitrary precision), which
+comfortably covers any realistic hypercube dimension.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bit",
+    "bit_complement",
+    "bit_field",
+    "bit_reverse",
+    "bits_of",
+    "clear_bit",
+    "flip_bit",
+    "from_bits",
+    "gray_code",
+    "inverse_gray_code",
+    "is_power_of_two",
+    "log2_exact",
+    "lowest_set_bit",
+    "popcount",
+    "rotate_bits_left",
+    "rotate_bits_right",
+    "set_bit",
+]
+
+
+def popcount(x: int) -> int:
+    """Number of set bits in ``x`` (the Hamming weight).
+
+    On a hypercube the distance between nodes ``a`` and ``b`` is
+    ``popcount(a ^ b)``.
+
+    >>> popcount(0b1011)
+    3
+    """
+    if x < 0:
+        raise ValueError(f"popcount requires a non-negative int, got {x}")
+    return x.bit_count()
+
+
+def bit(x: int, j: int) -> int:
+    """Bit ``j`` of ``x`` (0 or 1), with bit 0 the least significant.
+
+    >>> bit(0b100, 2)
+    1
+    """
+    return (x >> j) & 1
+
+
+def set_bit(x: int, j: int) -> int:
+    """Return ``x`` with bit ``j`` set."""
+    return x | (1 << j)
+
+
+def clear_bit(x: int, j: int) -> int:
+    """Return ``x`` with bit ``j`` cleared."""
+    return x & ~(1 << j)
+
+
+def flip_bit(x: int, j: int) -> int:
+    """Return ``x`` with bit ``j`` flipped.
+
+    ``flip_bit(node, j)`` is the hypercube neighbour of ``node`` across
+    dimension ``j``.
+    """
+    return x ^ (1 << j)
+
+
+def bit_field(x: int, lo: int, width: int) -> int:
+    """Extract ``width`` bits of ``x`` starting at bit ``lo``.
+
+    This is the subcube-coordinate operation of the multiphase
+    algorithm: a phase on bits ``[lo, lo+width)`` identifies each node's
+    position within its subcube by ``bit_field(label, lo, width)``.
+
+    >>> bit_field(0b101101, 2, 3)
+    3
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (x >> lo) & ((1 << width) - 1)
+
+
+def bit_complement(x: int, width: int) -> int:
+    """Bitwise complement of ``x`` restricted to ``width`` bits."""
+    return x ^ ((1 << width) - 1)
+
+
+def bits_of(x: int, width: int) -> tuple[int, ...]:
+    """Tuple of the low ``width`` bits of ``x``, most significant first.
+
+    >>> bits_of(0b0110, 4)
+    (0, 1, 1, 0)
+    """
+    return tuple((x >> j) & 1 for j in range(width - 1, -1, -1))
+
+
+def from_bits(bits: tuple[int, ...] | list[int]) -> int:
+    """Inverse of :func:`bits_of`: assemble an int from MSB-first bits.
+
+    >>> from_bits((0, 1, 1, 0))
+    6
+    """
+    value = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {b}")
+        value = (value << 1) | b
+    return value
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def log2_exact(x: int) -> int:
+    """Base-2 logarithm of an exact power of two.
+
+    Raises :class:`ValueError` for anything else, which makes it a safe
+    way to recover the cube dimension ``d`` from the node count
+    ``n = 2**d``.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+def lowest_set_bit(x: int) -> int:
+    """Index of the least significant set bit of ``x``.
+
+    The e-cube router corrects address bits from the least significant
+    end; the next link taken from an intermediate node ``u`` toward
+    destination ``t`` crosses dimension ``lowest_set_bit(u ^ t)``.
+    """
+    if x <= 0:
+        raise ValueError(f"lowest_set_bit requires a positive int, got {x}")
+    return (x & -x).bit_length() - 1
+
+
+def rotate_bits_left(x: int, k: int, width: int) -> int:
+    """Rotate the low ``width`` bits of ``x`` left by ``k`` positions.
+
+    Index-bit rotations are exactly the paper's block *shuffles*
+    (Figure 3): a single left rotation of a block's index bits is one
+    elementary shuffle of the `2**width`-entry block array.
+
+    >>> bin(rotate_bits_left(0b0011, 1, 4))
+    '0b110'
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    k %= width
+    mask = (1 << width) - 1
+    x &= mask
+    return ((x << k) | (x >> (width - k))) & mask
+
+
+def rotate_bits_right(x: int, k: int, width: int) -> int:
+    """Rotate the low ``width`` bits of ``x`` right by ``k`` positions."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return rotate_bits_left(x, width - (k % width), width)
+
+
+def bit_reverse(x: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``x``.
+
+    >>> bin(bit_reverse(0b0011, 4))
+    '0b1100'
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (x & 1)
+        x >>= 1
+    return out
+
+
+def gray_code(x: int) -> int:
+    """Binary-reflected Gray code of ``x``.
+
+    Included because hypercube embeddings of rings/meshes (used by the
+    application kernels) follow Gray-code orderings.
+    """
+    if x < 0:
+        raise ValueError(f"gray_code requires a non-negative int, got {x}")
+    return x ^ (x >> 1)
+
+
+def inverse_gray_code(g: int) -> int:
+    """Inverse of :func:`gray_code`."""
+    if g < 0:
+        raise ValueError(f"inverse_gray_code requires a non-negative int, got {g}")
+    x = 0
+    while g:
+        x ^= g
+        g >>= 1
+    return x

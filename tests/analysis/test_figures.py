@@ -1,0 +1,91 @@
+"""Tests for figure-series generation and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    FIGURE_SPECS,
+    figure_data,
+    multiphase_interp,
+    render_figure,
+)
+from repro.analysis.hull import PAPER_HULLS
+from repro.model.cost import multiphase_time
+from repro.model.params import ipsc860
+
+
+class TestSpecs:
+    def test_three_figures(self):
+        assert sorted(FIGURE_SPECS) == [4, 5, 6]
+        assert [FIGURE_SPECS[f].d for f in (4, 5, 6)] == [5, 6, 7]
+
+    def test_specs_include_paper_hulls_and_se(self):
+        for f, spec in FIGURE_SPECS.items():
+            shown = {tuple(sorted(p, reverse=True)) for p in spec.partitions}
+            for hull_member in PAPER_HULLS[spec.d]:
+                assert tuple(sorted(hull_member, reverse=True)) in shown
+            assert (1,) * spec.d in shown  # SE reference curve
+
+    def test_partitions_sum_to_d(self):
+        for spec in FIGURE_SPECS.values():
+            for partition in spec.partitions:
+                assert sum(partition) == spec.d
+
+
+class TestFigureData:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        # predictions only: simulation paths are covered by the benches
+        return figure_data(4, simulate=False, prediction_points=21)
+
+    def test_curves_match_model(self, fig4):
+        p = ipsc860()
+        for curve in fig4.curves:
+            for m, t in zip(curve.block_sizes, curve.predicted_us):
+                assert t == pytest.approx(multiphase_time(m, 5, curve.partition, p))
+
+    def test_hull_attached(self, fig4):
+        assert fig4.hull_partitions == ((3, 2), (5,))
+
+    def test_winner_at(self, fig4):
+        assert tuple(sorted(fig4.winner_at(40.0), reverse=True)) == (3, 2)
+        assert fig4.winner_at(350.0) == (5,)
+
+    def test_curve_lookup(self, fig4):
+        assert fig4.curve((2, 3)).partition in {(3, 2), (2, 3)}
+        with pytest.raises(KeyError):
+            fig4.curve((4, 1))
+
+    def test_labels(self, fig4):
+        labels = {c.label for c in fig4.curves}
+        assert "{2,3}" in labels and "{5}" in labels
+
+    def test_interp_endpoints(self, fig4):
+        curve = fig4.curve((5,))
+        assert multiphase_interp(curve, -1.0) == curve.predicted_us[0]
+        assert multiphase_interp(curve, 1e9) == curve.predicted_us[-1]
+
+    def test_measured_points_when_simulating(self):
+        data = figure_data(4, simulate=True, prediction_points=5,
+                           sim_block_sizes=(0, 40))
+        for curve in data.curves:
+            assert curve.measured_block_sizes == [0.0, 40.0]
+            for m, t in zip(curve.measured_block_sizes, curve.measured_us):
+                assert t == pytest.approx(
+                    multiphase_time(m, 5, curve.partition, ipsc860())
+                )
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            figure_data(7)
+
+
+class TestRendering:
+    def test_render_contains_structure(self):
+        data = figure_data(4, simulate=False, prediction_points=11)
+        art = render_figure(data)
+        assert "Figure 4" in art
+        assert "block size (bytes)" in art
+        assert "legend:" in art
+        assert "{5}" in art

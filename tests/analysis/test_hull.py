@@ -1,0 +1,47 @@
+"""Tests for hull-of-optimality agreement with Figures 4-6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hull import PAPER_HULLS, hull_agreement, simulated_winner
+
+
+class TestHullAgreement:
+    @pytest.mark.parametrize("d", [5, 6, 7])
+    def test_hull_matches_paper(self, d):
+        agreement = hull_agreement(d)
+        assert agreement.hull_matches, (
+            f"d={d}: paper {agreement.paper_hull} vs "
+            f"{agreement.table.hull_partitions}"
+        )
+
+    @pytest.mark.parametrize("d", [5, 6, 7])
+    def test_switch_point_within_tolerance(self, d):
+        agreement = hull_agreement(d)
+        assert agreement.boundary_relative_error < 0.25
+
+    def test_rejects_unknown_dimension(self):
+        with pytest.raises(ValueError):
+            hull_agreement(9)
+
+    def test_paper_hulls_well_formed(self):
+        for d, hull in PAPER_HULLS.items():
+            for partition in hull:
+                assert sum(partition) == d
+
+
+class TestSimulatedWinner:
+    def test_simulation_confirms_hull_at_40_bytes_d5(self, ipsc):
+        """At 40 bytes on d=5 the paper's hull says {2,3} wins; the
+        full data-moving simulation must agree."""
+        candidates = [(3, 2), (5,), (1, 1, 1, 1, 1)]
+        winner, times = simulated_winner(5, 40, candidates, ipsc)
+        assert winner == (3, 2)
+        assert times[(3, 2)] < times[(5,)]
+        assert times[(3, 2)] < times[(1, 1, 1, 1, 1)]
+
+    def test_simulation_confirms_large_block_winner(self, ipsc):
+        """At 300 bytes the single-phase algorithm must win."""
+        winner, _ = simulated_winner(5, 300, [(3, 2), (5,)], ipsc)
+        assert winner == (5,)

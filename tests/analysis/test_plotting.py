@@ -1,0 +1,57 @@
+"""Tests for the ASCII plotting canvas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import Series, ascii_plot
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series(label="x", x=[1, 2], y=[1])
+
+
+class TestAsciiPlot:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+        with pytest.raises(ValueError):
+            ascii_plot([Series(label="e", x=[], y=[])])
+
+    def test_basic_render(self):
+        s = Series(label="line", x=[0, 1, 2, 3], y=[0, 1, 2, 3])
+        art = ascii_plot([s], width=40, height=10, title="t", xlabel="xs", ylabel="ys")
+        assert "t" in art
+        assert "legend: o = line" in art
+        assert "xs" in art
+        lines = [ln for ln in art.splitlines() if "|" in ln]
+        assert len(lines) == 10
+
+    def test_multiple_series_distinct_glyphs(self):
+        a = Series(label="a", x=[0, 1], y=[0, 0])
+        b = Series(label="b", x=[0, 1], y=[1, 1])
+        art = ascii_plot([a, b])
+        assert "o = a" in art and "x = b" in art
+        assert "o" in art and "x" in art
+
+    def test_custom_glyph(self):
+        s = Series(label="s", x=[0, 1], y=[0, 1], glyph="#")
+        art = ascii_plot([s])
+        assert "# = s" in art
+
+    def test_single_point(self):
+        s = Series(label="p", x=[5.0], y=[7.0])
+        art = ascii_plot([s], width=20, height=5)
+        assert "o" in art
+
+    def test_flat_series_does_not_crash(self):
+        s = Series(label="flat", x=[0, 1, 2], y=[3, 3, 3])
+        assert "flat" in ascii_plot([s])
+
+    def test_axis_labels_reflect_ranges(self):
+        s = Series(label="r", x=[10, 400], y=[0.5, 2.0])
+        art = ascii_plot([s])
+        assert "400" in art
+        assert "0.5" in art and "2" in art

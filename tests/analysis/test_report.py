@@ -1,0 +1,45 @@
+"""Tests for the consolidated paper-vs-reproduced report."""
+
+from __future__ import annotations
+
+from repro.analysis.report import Report, agreement_rows, full_report, hull_rows
+from repro.analysis.tables import Row
+
+
+class TestReport:
+    def test_counting(self):
+        report = Report()
+        report.extend([
+            Row("e", "q1", "1", "1", True),
+            Row("e", "q2", "2", "3", False),
+        ])
+        assert report.n_agreeing == 1
+        assert not report.all_agree
+        assert "1/2 comparisons" in report.render()
+
+    def test_full_report_without_simulation(self):
+        report = full_report(include_simulation=False)
+        assert report.all_agree, [r.quantity for r in report.rows if not r.agrees]
+        # tables (13) + crossover (1) + example (6) + headline (4) + hulls (6)
+        assert len(report.rows) == 30
+
+    def test_full_report_with_simulation(self):
+        report = full_report(include_simulation=True)
+        assert report.all_agree
+        assert len(report.rows) == 34
+
+
+class TestHullRows:
+    def test_rows_shape(self):
+        rows = hull_rows(dims=(5,))
+        assert len(rows) == 2
+        assert all(r.agrees for r in rows)
+        assert "{2,3}" in rows[0].paper_value
+
+
+class TestAgreementRows:
+    def test_exact_agreement(self, ipsc):
+        rows = agreement_rows(cases=((4, 24, (2, 2)),), params=ipsc)
+        (row,) = rows
+        assert row.agrees
+        assert "0.000%" in row.note

@@ -1,0 +1,43 @@
+"""Tests for the dimension x block-size partition sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import partition_sweep, render_sweep
+from repro.model.optimizer import best_partition
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        from repro.model.params import ipsc860
+
+        return partition_sweep((4, 5, 6), (8.0, 40.0, 160.0), ipsc860())
+
+    def test_covers_grid(self, cells):
+        assert len(cells) == 9
+        assert {(c.d, c.m) for c in cells} == {
+            (d, m) for d in (4, 5, 6) for m in (8.0, 40.0, 160.0)
+        }
+
+    def test_matches_optimizer(self, cells, ipsc):
+        for cell in cells:
+            choice = best_partition(cell.m, cell.d, ipsc)
+            assert cell.partition == choice.partition
+            assert cell.time_us == pytest.approx(choice.time)
+
+    def test_gain_at_least_one(self, cells):
+        for cell in cells:
+            assert cell.gain_over_classics >= 1.0 - 1e-12
+
+    def test_small_blocks_show_real_gains(self, cells):
+        small = [c for c in cells if c.m == 8.0 and c.d >= 5]
+        assert all(c.gain_over_classics > 1.2 for c in small)
+
+    def test_render(self, cells):
+        text = render_sweep(cells)
+        assert "d\\m(B)" in text
+        assert "{" in text and "x" in text
+        # one row per dimension plus header/rule/footer
+        assert sum(line.startswith(("4", "5", "6")) for line in text.splitlines()) == 3

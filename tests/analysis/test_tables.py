@@ -1,0 +1,75 @@
+"""Tests for the table reproductions: every comparison row must agree
+with the paper."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import (
+    figure6_headline,
+    format_rows,
+    parameter_table,
+    partition_table,
+    section43_crossover,
+    section51_example,
+)
+
+
+class TestPartitionTable:
+    def test_all_rows_agree(self):
+        rows = partition_table()
+        assert len(rows) == 5
+        assert all(r.agrees for r in rows)
+
+    def test_quantities(self):
+        quantities = {r.quantity for r in partition_table()}
+        assert quantities == {"p(5)", "p(10)", "p(15)", "p(20)", "p(7)"}
+
+
+class TestParameterTable:
+    def test_all_rows_agree(self):
+        rows = parameter_table()
+        assert len(rows) == 8
+        assert all(r.agrees for r in rows)
+
+    def test_detects_miscalibration(self, ipsc):
+        rows = parameter_table(ipsc.with_overrides(latency=100.0))
+        bad = [r for r in rows if not r.agrees]
+        assert {r.quantity for r in bad} == {"lambda (us)", "lambda_eff (us)"}
+
+
+class TestCrossoverAndExample:
+    def test_crossover_row(self):
+        (row,) = section43_crossover()
+        assert row.agrees
+        assert "29" in row.reproduced_value
+
+    def test_section51_rows_agree(self):
+        rows = section51_example()
+        assert len(rows) == 6
+        assert all(r.agrees for r in rows), [r.quantity for r in rows if not r.agrees]
+
+    def test_phase2_row_documents_slip(self):
+        rows = section51_example()
+        (phase4,) = [r for r in rows if "phase {4}" in r.quantity]
+        assert "160B slip" in r.paper_value if (r := phase4) else False
+        assert "DESIGN.md" in phase4.note
+
+
+class TestFigure6Headline:
+    def test_all_rows_agree(self):
+        rows = figure6_headline()
+        assert len(rows) == 4
+        assert all(r.agrees for r in rows)
+
+    def test_speedup_row(self):
+        (speedup,) = [r for r in figure6_headline() if "speedup" in r.quantity]
+        assert float(speedup.reproduced_value.rstrip("x")) > 2.0
+
+
+class TestFormatting:
+    def test_format_rows_renders_all(self):
+        rows = partition_table()
+        text = format_rows(rows)
+        lines = text.splitlines()
+        assert len(lines) == len(rows) + 2  # header + rule
+        assert "p(20)" in text
+        assert "627" in text

@@ -1,0 +1,66 @@
+"""Tests for the distributed 2-D FFT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.fft2d import distributed_fft2, distributed_ifft2
+
+
+class TestForward:
+    @pytest.mark.parametrize("n_nodes,partition", [(2, None), (4, (2,)), (4, (1, 1)), (8, (2, 1))])
+    def test_matches_numpy_real_input(self, n_nodes, partition):
+        rng = np.random.default_rng(11)
+        g = rng.normal(size=(16, 16))
+        out = distributed_fft2(g, n_nodes, partition=partition)
+        assert np.allclose(out, np.fft.fft2(g))
+
+    def test_complex_input(self):
+        rng = np.random.default_rng(12)
+        g = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        assert np.allclose(distributed_fft2(g, 4), np.fft.fft2(g))
+
+    def test_transposed_layout_option(self):
+        rng = np.random.default_rng(13)
+        g = rng.normal(size=(8, 8))
+        spectrum_t = distributed_fft2(g, 4, restore_layout=False)
+        assert np.allclose(spectrum_t, np.fft.fft2(g).T)
+
+    def test_delta_function_flat_spectrum(self):
+        g = np.zeros((8, 8))
+        g[0, 0] = 1.0
+        assert np.allclose(distributed_fft2(g, 8), np.ones((8, 8)))
+
+    def test_parseval(self):
+        rng = np.random.default_rng(14)
+        g = rng.normal(size=(16, 16))
+        spectrum = distributed_fft2(g, 4)
+        assert np.sum(np.abs(g) ** 2) == pytest.approx(
+            np.sum(np.abs(spectrum) ** 2) / g.size
+        )
+
+
+class TestInverse:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(15)
+        s = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        assert np.allclose(distributed_ifft2(s, 4), np.fft.ifft2(s))
+
+    @pytest.mark.parametrize("partition", [None, (1, 1, 1)])
+    def test_roundtrip(self, partition):
+        rng = np.random.default_rng(16)
+        g = rng.normal(size=(8, 8))
+        back = distributed_ifft2(distributed_fft2(g, 8, partition=partition), 8,
+                                 partition=partition)
+        assert np.allclose(back, g)
+
+
+class TestValidation:
+    def test_rejects_bad_node_count(self):
+        with pytest.raises(ValueError):
+            distributed_fft2(np.zeros((6, 6)), 3)
+
+    def test_rejects_indivisible_grid(self):
+        with pytest.raises(ValueError):
+            distributed_fft2(np.zeros((6, 6)), 4)

@@ -1,0 +1,103 @@
+"""Tests for the distributed table lookup."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lookup import DistributedTable, distributed_lookup
+
+
+def make_table(n_nodes=4, capacity=64):
+    keys = np.arange(0, capacity, 2)
+    values = keys * 1.5
+    return DistributedTable(keys, values, n_nodes, capacity)
+
+
+class TestDistributedTable:
+    def test_sharding(self):
+        table = make_table(4, 64)
+        assert table.owner(0) == 0
+        assert table.owner(15) == 0
+        assert table.owner(16) == 1
+        assert table.owner(63) == 3
+
+    def test_local_lookup(self):
+        table = make_table()
+        got = table.local_lookup(0, np.array([0, 2, 3]))
+        assert got[0] == 0.0 and got[1] == 3.0 and np.isnan(got[2])
+
+    def test_rejects_indivisible_capacity(self):
+        with pytest.raises(ValueError):
+            DistributedTable(np.array([0]), np.array([1.0]), 4, 30)
+
+    def test_rejects_out_of_range_keys(self):
+        with pytest.raises(ValueError):
+            DistributedTable(np.array([70]), np.array([1.0]), 4, 64)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            DistributedTable(np.array([1, 1]), np.array([1.0, 2.0]), 4, 64)
+
+    def test_rejects_misaligned_values(self):
+        with pytest.raises(ValueError):
+            DistributedTable(np.array([1, 2]), np.array([1.0]), 4, 64)
+
+
+class TestDistributedLookup:
+    @pytest.mark.parametrize("partition", [None, (1, 1), (2,)])
+    def test_resolves_present_keys(self, partition):
+        table = make_table(4, 64)
+        rng = np.random.default_rng(21)
+        queries = [rng.choice(np.arange(0, 64, 2), size=6, replace=False) for _ in range(4)]
+        results = distributed_lookup(table, queries, partition=partition)
+        for q, r in zip(queries, results):
+            assert np.array_equal(r, q * 1.5)
+
+    def test_missing_keys_are_nan(self):
+        table = make_table(4, 64)
+        queries = [np.array([1, 2]), np.array([3]), np.array([4, 5, 7]), np.array([62, 61])]
+        results = distributed_lookup(table, queries)
+        assert np.isnan(results[0][0]) and results[0][1] == 3.0
+        assert np.isnan(results[1][0])
+        assert results[3][0] == 93.0 and np.isnan(results[3][1])
+
+    def test_empty_batches(self):
+        table = make_table(4, 64)
+        queries = [np.array([], dtype=np.int64) for _ in range(4)]
+        results = distributed_lookup(table, queries)
+        assert all(len(r) == 0 for r in results)
+
+    def test_skewed_batches(self):
+        """All queries hitting one shard still resolve (padding path)."""
+        table = make_table(4, 64)
+        queries = [np.arange(0, 16, 2) for _ in range(4)]  # all shard 0
+        results = distributed_lookup(table, queries)
+        for r in results:
+            assert np.array_equal(r, np.arange(0, 16, 2) * 1.5)
+
+    def test_preserves_query_order(self):
+        table = make_table(4, 64)
+        q = np.array([62, 0, 32, 2])  # deliberately shard-shuffled
+        results = distributed_lookup(table, [q] + [np.array([], np.int64)] * 3)
+        assert np.array_equal(results[0], q * 1.5)
+
+    def test_rejects_wrong_batch_count(self):
+        table = make_table(4, 64)
+        with pytest.raises(ValueError):
+            distributed_lookup(table, [np.array([0])] * 3)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_random_workloads(self, seed):
+        table = make_table(4, 64)
+        rng = np.random.default_rng(seed)
+        queries = [
+            rng.integers(0, 64, size=rng.integers(0, 10)) for _ in range(4)
+        ]
+        results = distributed_lookup(table, queries)
+        for q, r in zip(queries, results):
+            expected = np.array([k * 1.5 if k % 2 == 0 else np.nan for k in q])
+            assert np.allclose(r, expected, equal_nan=True)

@@ -1,0 +1,68 @@
+"""Tests for the distributed matrix-vector multiply."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.matvec import matvec_allgather, matvec_transpose
+
+
+class TestAllgatherMatvec:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4, 8])
+    def test_square_matches_numpy(self, n_nodes):
+        rng = np.random.default_rng(41)
+        a = rng.normal(size=(16, 16))
+        x = rng.normal(size=16)
+        assert np.allclose(matvec_allgather(a, x, n_nodes), a @ x)
+
+    def test_rectangular_rows(self):
+        rng = np.random.default_rng(42)
+        a = rng.normal(size=(8, 12))
+        x = rng.normal(size=12)
+        assert np.allclose(matvec_allgather(a, x, 4), a @ x)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            matvec_allgather(np.zeros((4, 4)), np.zeros(5), 2)
+
+    def test_indivisible_vector_rejected(self):
+        with pytest.raises(ValueError):
+            matvec_allgather(np.zeros((4, 6)), np.zeros(6), 4)
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2 ** 32 - 1),
+    )
+    def test_random(self, log_nodes, per, seed):
+        n_nodes = 1 << log_nodes
+        size = n_nodes * per
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(size, size))
+        x = rng.normal(size=size)
+        assert np.allclose(matvec_allgather(a, x, n_nodes), a @ x)
+
+
+class TestTransposeMatvec:
+    @pytest.mark.parametrize("partition", [None, (1, 1), (2,)])
+    def test_matches_numpy(self, partition):
+        rng = np.random.default_rng(43)
+        a = rng.normal(size=(8, 8))
+        x = rng.normal(size=8)
+        out = matvec_transpose(a, x, 4, partition=partition)
+        assert np.allclose(out, a.T @ x)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            matvec_transpose(np.zeros((4, 6)), np.zeros(6), 2)
+
+    def test_symmetric_matrix_equals_forward(self):
+        rng = np.random.default_rng(44)
+        a = rng.normal(size=(8, 8))
+        a = a + a.T
+        x = rng.normal(size=8)
+        assert np.allclose(matvec_transpose(a, x, 4), matvec_allgather(a, x, 4))

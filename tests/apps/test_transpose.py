@@ -1,0 +1,83 @@
+"""Tests for the distributed matrix transpose."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.transpose import (
+    distributed_transpose,
+    gather_strips,
+    split_into_strips,
+    transpose_block_size,
+)
+
+
+class TestStrips:
+    def test_roundtrip(self):
+        a = np.arange(64).reshape(8, 8)
+        strips = split_into_strips(a, 4)
+        assert len(strips) == 4
+        assert strips[1].shape == (2, 8)
+        assert np.array_equal(gather_strips(strips), a)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            split_into_strips(np.zeros((4, 6)), 2)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            split_into_strips(np.zeros((6, 6)), 4)
+
+    def test_block_size(self):
+        assert transpose_block_size(16, 4) == 4 * 4 * 8
+        assert transpose_block_size(16, 4, dtype=np.float32) == 64
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("n_nodes,partition", [
+        (2, None), (4, (2,)), (4, (1, 1)), (8, (2, 1)), (8, (1, 1, 1)), (8, (3,)),
+    ])
+    def test_matches_numpy(self, n_nodes, partition):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(16, 16))
+        out = distributed_transpose(a, n_nodes, partition=partition)
+        assert np.array_equal(out, a.T)
+
+    def test_int_dtype(self):
+        a = np.arange(64, dtype=np.int32).reshape(8, 8)
+        assert np.array_equal(distributed_transpose(a, 4), a.T)
+
+    def test_complex_dtype(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        assert np.array_equal(distributed_transpose(a, 4), a.T)
+
+    def test_involution(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(8, 8))
+        twice = distributed_transpose(distributed_transpose(a, 8), 8)
+        assert np.array_equal(twice, a)
+
+    def test_single_node(self):
+        a = np.arange(9.0).reshape(3, 3)
+        assert np.array_equal(distributed_transpose(a, 1), a.T)
+
+    def test_rejects_non_power_of_two_nodes(self):
+        with pytest.raises(ValueError):
+            distributed_transpose(np.zeros((6, 6)), 3)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2 ** 32 - 1),
+    )
+    def test_random_shapes_and_nodes(self, log_nodes, blocks_per, seed):
+        n_nodes = 1 << log_nodes
+        size = n_nodes * blocks_per
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-100, 100, size=(size, size)).astype(np.float64)
+        assert np.array_equal(distributed_transpose(a, n_nodes), a.T)

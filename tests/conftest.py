@@ -1,0 +1,48 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.model.params import hypothetical, ipsc860
+
+
+@pytest.fixture(scope="session")
+def ipsc():
+    """The calibrated iPSC-860 parameter preset."""
+    return ipsc860()
+
+
+@pytest.fixture(scope="session")
+def hypo():
+    """The §4.3 hypothetical-machine preset."""
+    return hypothetical()
+
+
+def partitions_of(d: int):
+    """Hypothesis strategy for a random partition of ``d`` (ordered)."""
+
+    @st.composite
+    def build(draw):
+        remaining = d
+        parts = []
+        while remaining:
+            part = draw(st.integers(min_value=1, max_value=remaining))
+            parts.append(part)
+            remaining -= part
+        return tuple(parts)
+
+    return build()
+
+
+def small_cube_cases():
+    """Hypothesis strategy for (d, partition) with d in 1..5."""
+
+    @st.composite
+    def build(draw):
+        d = draw(st.integers(min_value=1, max_value=5))
+        partition = draw(partitions_of(d))
+        return d, partition
+
+    return build()

@@ -1,0 +1,171 @@
+"""Tests for the tagged block buffer and payload pattern."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockBuffer, BlockSet, payload_pattern
+from repro.hypercube.subcube import BitGroup
+
+
+class TestPayloadPattern:
+    def test_deterministic(self):
+        a = payload_pattern(3, 5, 16, 3)
+        b = payload_pattern(3, 5, 16, 3)
+        assert np.array_equal(a, b)
+
+    def test_distinguishes_tags(self):
+        assert not np.array_equal(payload_pattern(1, 2, 16, 3), payload_pattern(2, 1, 16, 3))
+
+    def test_zero_length(self):
+        assert payload_pattern(0, 0, 0, 3).shape == (0,)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            payload_pattern(0, 0, -1, 3)
+
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, 64))
+    def test_dtype_and_range(self, origin, dest, m):
+        p = payload_pattern(origin, dest, m, 3)
+        assert p.dtype == np.uint8
+        assert p.shape == (m,)
+        if m:
+            assert p.max() < 251
+
+
+class TestBlockSet:
+    def test_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            BlockSet(np.zeros(2, np.int64), np.zeros(3, np.int64), np.zeros((2, 4), np.uint8))
+
+    def test_nbytes(self):
+        bs = BlockSet(np.zeros(3, np.int64), np.zeros(3, np.int64), np.zeros((3, 5), np.uint8))
+        assert bs.nbytes == 15
+        assert bs.n_blocks == 3
+
+    def test_sorted_by_dest(self):
+        bs = BlockSet(
+            np.array([1, 0, 1]),
+            np.array([2, 1, 1]),
+            np.arange(12, dtype=np.uint8).reshape(3, 4),
+        )
+        out = bs.sorted_by_dest()
+        assert out.dests.tolist() == [1, 1, 2]
+        assert out.origins.tolist() == [0, 1, 1]
+
+
+class TestBlockBuffer:
+    def test_initial_state(self):
+        buf = BlockBuffer.initial(node=2, d=3, m=4)
+        assert buf.n_blocks == 8
+        assert sorted(buf.dests.tolist()) == list(range(8))
+        assert (buf.origins == 2).all()
+        assert buf.total_bytes == 32
+
+    def test_initial_zero_block_size(self):
+        buf = BlockBuffer.initial(node=0, d=2, m=0)
+        assert buf.total_bytes == 0
+        assert buf.n_blocks == 4
+
+    def test_extract_for_coordinate(self):
+        buf = BlockBuffer.initial(node=0, d=3, m=2)
+        group = BitGroup(lo=1, width=2)  # bits 2,1
+        taken = buf.extract_for_coordinate(group, 0b01)
+        # dests with bits 2,1 == 01 are {2, 3}
+        assert sorted(taken.dests.tolist()) == [2, 3]
+        assert buf.n_blocks == 6
+        # effective block size = m * 2**(d - d_i)
+        assert taken.nbytes == 2 * (1 << (3 - 2))
+
+    def test_extract_for_dest_bit(self):
+        buf = BlockBuffer.initial(node=0, d=3, m=1)
+        taken = buf.extract_for_dest_bit(2, 1)
+        assert sorted(taken.dests.tolist()) == [4, 5, 6, 7]
+
+    def test_insert_rejects_wrong_width(self):
+        buf = BlockBuffer.initial(node=0, d=2, m=4)
+        bad = BlockSet(np.zeros(1, np.int64), np.zeros(1, np.int64), np.zeros((1, 3), np.uint8))
+        with pytest.raises(ValueError):
+            buf.insert(bad)
+
+    def test_extract_insert_roundtrip(self):
+        buf = BlockBuffer.initial(node=1, d=3, m=4)
+        group = BitGroup(lo=0, width=3)
+        taken = buf.extract_for_coordinate(group, 5)
+        assert buf.n_blocks == 7
+        buf.insert(taken)
+        assert buf.n_blocks == 8
+        assert sorted(buf.dests.tolist()) == list(range(8))
+
+    def test_from_rows(self):
+        rows = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        buf = BlockBuffer.from_rows(1, 2, rows)
+        assert buf.m == 4
+        assert np.array_equal(buf.payload, rows)
+        # mutating the source must not affect the buffer
+        rows[0, 0] = 99
+        assert buf.payload[0, 0] == 0
+
+    def test_from_rows_shape_check(self):
+        with pytest.raises(ValueError):
+            BlockBuffer.from_rows(0, 2, np.zeros((3, 4), np.uint8))
+
+    def test_coordinate(self):
+        buf = BlockBuffer.initial(node=0b0110, d=4, m=1)
+        assert buf.coordinate(BitGroup(lo=1, width=2)) == 0b11
+
+
+class TestVerification:
+    def _final_buffer(self, node: int, d: int, m: int) -> BlockBuffer:
+        """Manually assemble a correct post-exchange buffer."""
+        n = 1 << d
+        origins = np.arange(n, dtype=np.int64)
+        dests = np.full(n, node, dtype=np.int64)
+        payload = np.stack([payload_pattern(o, node, m, d) for o in range(n)])
+        return BlockBuffer(node, d, m, BlockSet(origins, dests, payload))
+
+    def test_accepts_correct_result(self):
+        buf = self._final_buffer(3, 3, 8)
+        buf.verify_complete_exchange_result()
+        assert buf.is_complete_exchange_result()
+
+    def test_detects_wrong_destination(self):
+        buf = self._final_buffer(3, 3, 8)
+        buf.dests[2] = 5
+        with pytest.raises(AssertionError, match="foreign destinations"):
+            buf.verify_complete_exchange_result()
+
+    def test_detects_duplicate_origin(self):
+        buf = self._final_buffer(3, 3, 8)
+        buf.origins[1] = buf.origins[0]
+        with pytest.raises(AssertionError, match="permutation"):
+            buf.verify_complete_exchange_result()
+
+    def test_detects_corrupted_payload(self):
+        buf = self._final_buffer(3, 3, 8)
+        buf.payload[4, 2] ^= 0xFF
+        with pytest.raises(AssertionError, match="corrupted"):
+            buf.verify_complete_exchange_result()
+        # but passes when payload checking is off
+        buf.verify_complete_exchange_result(check_payload=False)
+
+    def test_detects_wrong_count(self):
+        buf = BlockBuffer.initial(node=0, d=2, m=2)
+        group = BitGroup(lo=0, width=2)
+        buf.extract_for_coordinate(group, 3)
+        with pytest.raises(AssertionError, match="holds"):
+            buf.verify_complete_exchange_result()
+
+    def test_result_rows_ordering(self):
+        buf = self._final_buffer(2, 2, 4)
+        rows = buf.result_rows()
+        assert rows.shape == (4, 4)
+        for origin in range(4):
+            assert np.array_equal(rows[origin], payload_pattern(origin, 2, 4, 2))
+
+    def test_initial_state_is_not_a_result(self):
+        buf = BlockBuffer.initial(node=1, d=2, m=2)
+        assert not buf.is_complete_exchange_result()

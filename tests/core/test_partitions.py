@@ -1,0 +1,135 @@
+"""Tests for integer partition enumeration and p(d) (paper §6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partitions import (
+    canonical,
+    compositions,
+    partition_count,
+    partition_count_asymptotic,
+    partition_count_table,
+    partitions,
+)
+
+small_d = st.integers(min_value=0, max_value=18)
+
+
+class TestPartitionGeneration:
+    def test_d4_exact(self):
+        assert list(partitions(4)) == [(4,), (3, 1), (2, 2), (2, 1, 1), (1, 1, 1, 1)]
+
+    def test_d0(self):
+        assert list(partitions(0)) == [()]
+
+    def test_d1(self):
+        assert list(partitions(1)) == [(1,)]
+
+    def test_max_part(self):
+        assert list(partitions(4, max_part=2)) == [(2, 2), (2, 1, 1), (1, 1, 1, 1)]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(partitions(-1))
+
+    @given(st.integers(min_value=1, max_value=14))
+    def test_every_partition_sums_to_d(self, d):
+        for p in partitions(d):
+            assert sum(p) == d
+            assert all(part >= 1 for part in p)
+
+    @given(st.integers(min_value=1, max_value=14))
+    def test_canonical_decreasing_order(self, d):
+        for p in partitions(d):
+            assert tuple(sorted(p, reverse=True)) == p
+
+    @given(st.integers(min_value=1, max_value=14))
+    def test_no_duplicates(self, d):
+        all_parts = list(partitions(d))
+        assert len(all_parts) == len(set(all_parts))
+
+    @given(st.integers(min_value=0, max_value=16))
+    def test_count_matches_recurrence(self, d):
+        """Generation and the pentagonal recurrence must agree."""
+        assert sum(1 for _ in partitions(d)) == partition_count(d)
+
+    def test_extremes_present(self):
+        for d in range(1, 10):
+            parts = set(partitions(d))
+            assert (d,) in parts, "single-phase (OCS) partition missing"
+            assert (1,) * d in parts, "all-ones (SE) partition missing"
+
+
+class TestPartitionCount:
+    def test_paper_table(self):
+        """§6 table: p(5)=7, p(10)=42, p(15)=176, p(20)=627."""
+        assert partition_count_table() == [(5, 7), (10, 42), (15, 176), (20, 627)]
+
+    def test_paper_in_text_values(self):
+        assert partition_count(7) == 15
+        assert partition_count(20) == 627
+
+    def test_known_sequence(self):
+        # OEIS A000041
+        expected = [1, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42, 56, 77, 101, 135, 176]
+        assert [partition_count(d) for d in range(16)] == expected
+
+    def test_negative_is_zero(self):
+        assert partition_count(-3) == 0
+
+    def test_large_value(self):
+        # p(100) is a classical benchmark value
+        assert partition_count(100) == 190569292
+
+
+class TestAsymptotic:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            partition_count_asymptotic(0)
+
+    def test_ratio_improves_with_d(self):
+        """Hardy-Ramanujan: estimate/exact -> 1 from above as d grows."""
+        r20 = partition_count_asymptotic(20) / partition_count(20)
+        r80 = partition_count_asymptotic(80) / partition_count(80)
+        assert r80 < r20
+        assert 1.0 < r80 < 1.2
+
+    def test_order_of_magnitude(self):
+        for d in (10, 20, 40):
+            est = partition_count_asymptotic(d)
+            exact = partition_count(d)
+            assert 0.5 < est / exact < 2.0
+        assert math.isfinite(partition_count_asymptotic(200))
+
+
+class TestCompositions:
+    def test_d3_exact(self):
+        assert sorted(compositions(3)) == [(1, 1, 1), (1, 2), (2, 1), (3,)]
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_count_is_power_of_two(self, d):
+        assert sum(1 for _ in compositions(d)) == 1 << (d - 1)
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_canonicalization_covers_partitions(self, d):
+        from_compositions = {tuple(sorted(c, reverse=True)) for c in compositions(d)}
+        assert from_compositions == set(partitions(d))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(compositions(-2))
+
+
+class TestCanonical:
+    def test_sorts_descending(self):
+        assert canonical((1, 3, 2)) == (3, 2, 1)
+
+    def test_validates_against_d(self):
+        assert canonical((1, 2), 3) == (2, 1)
+        with pytest.raises(ValueError):
+            canonical((1, 2), 4)

@@ -1,0 +1,80 @@
+"""Property-based tests on the exchange invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exchange import run_exchange, run_exchange_on_rows
+from repro.core.verify import assert_exchange_correct
+from tests.conftest import small_cube_cases
+
+
+@st.composite
+def exchange_case(draw):
+    d, partition = draw(small_cube_cases())
+    m = draw(st.integers(min_value=0, max_value=24))
+    engine = draw(st.sampled_from(["tags", "layout"]))
+    return d, partition, m, engine
+
+
+class TestExchangeProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(exchange_case())
+    def test_every_configuration_verifies(self, case):
+        """Any partition, block size, and engine yields a byte-correct
+        complete exchange."""
+        d, partition, m, engine = case
+        run_exchange(d, m, partition, engine=engine).verify()
+
+    @settings(deadline=None, max_examples=25)
+    @given(small_cube_cases(), st.integers(min_value=0, max_value=16))
+    def test_partition_choice_never_changes_results(self, case, m):
+        """The received data is a function of the inputs only — every
+        partition produces the identical result rows."""
+        d, partition = case
+        baseline = run_exchange(d, m, (d,))
+        other = run_exchange(d, m, partition)
+        for node in range(1 << d):
+            assert np.array_equal(baseline.result_rows(node), other.result_rows(node))
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=12),
+        st.randoms(use_true_random=False),
+    )
+    def test_random_payload_roundtrip(self, d, m, rnd):
+        """Random user payloads satisfy recv[x][j] == send[j][x]."""
+        n = 1 << d
+        rng = np.random.default_rng(rnd.getrandbits(32))
+        send = [rng.integers(0, 256, size=(n, m), dtype=np.uint8) for _ in range(n)]
+        recv = run_exchange_on_rows(send)
+        assert_exchange_correct(send, recv)
+
+    @settings(deadline=None, max_examples=20)
+    @given(small_cube_cases())
+    def test_conservation_of_blocks(self, case):
+        """Block count and byte volume are conserved at every node."""
+        d, partition = case
+        m = 4
+        outcome = run_exchange(d, m, partition)
+        n = 1 << d
+        for buf in outcome.buffers:
+            assert buf.n_blocks == n
+            assert buf.total_bytes == n * m
+
+    @settings(deadline=None, max_examples=20)
+    @given(small_cube_cases())
+    def test_double_exchange_is_identity_on_rows(self, case):
+        """Exchanging twice returns every block to its origin
+        (the complete exchange is an involution on the row arrays)."""
+        d, partition = case
+        n = 1 << d
+        rng = np.random.default_rng(7)
+        send = [rng.integers(0, 256, size=(n, 6), dtype=np.uint8) for _ in range(n)]
+        once = run_exchange_on_rows(send, partition)
+        twice = run_exchange_on_rows(once, partition)
+        for x in range(n):
+            assert np.array_equal(twice[x], send[x])

@@ -1,0 +1,91 @@
+"""Tests for the named classical algorithms (paper §4.1, §4.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.optimal import (
+    contention_free_reason,
+    optimal_exchange,
+    optimal_partition,
+    optimal_transmissions,
+    pairwise_partners,
+)
+from repro.core.standard import (
+    standard_blocks_per_transmission,
+    standard_exchange,
+    standard_partition,
+    standard_transmissions,
+)
+from repro.hypercube.routing import ecube_path_edges
+from repro.hypercube.topology import Link
+
+
+class TestStandard:
+    def test_partition(self):
+        assert standard_partition(4) == (1, 1, 1, 1)
+
+    def test_counts(self):
+        assert standard_transmissions(5) == 5
+        assert standard_blocks_per_transmission(5) == 16
+
+    def test_exchange_runs_and_verifies(self):
+        outcome = standard_exchange(4, 8)
+        outcome.verify()
+        assert outcome.n_exchange_steps == 4
+
+    def test_layout_engine(self):
+        standard_exchange(3, 4, engine="layout").verify()
+
+    def test_rejects_d0(self):
+        with pytest.raises(ValueError):
+            standard_partition(0)
+
+
+class TestOptimal:
+    def test_partition(self):
+        assert optimal_partition(5) == (5,)
+
+    def test_counts(self):
+        assert optimal_transmissions(5) == 31
+
+    def test_exchange_runs_and_verifies(self):
+        outcome = optimal_exchange(4, 8)
+        outcome.verify()
+        assert outcome.n_exchange_steps == 15
+
+    @given(st.integers(min_value=1, max_value=7), st.data())
+    def test_partner_sequence_properties(self, d, data):
+        node = data.draw(st.integers(min_value=0, max_value=(1 << d) - 1))
+        seq = pairwise_partners(node, d)
+        # hits every other node exactly once
+        assert sorted(seq) == [x for x in range(1 << d) if x != node]
+        # involution at each step
+        for i, partner in enumerate(seq, start=1):
+            assert pairwise_partners(partner, d)[i - 1] == node
+
+
+class TestContentionFreeReason:
+    """The constructive uniqueness proof behind the XOR schedule."""
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            contention_free_reason(u=0, b=1, offset=0b001, d=3)
+
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    def test_predicted_source_is_the_only_user(self, d, data):
+        n = 1 << d
+        offset = data.draw(st.integers(min_value=1, max_value=n - 1))
+        # pick a dimension the offset actually crosses
+        dims = [b for b in range(d) if (offset >> b) & 1]
+        b = data.draw(st.sampled_from(dims))
+        u = data.draw(st.integers(min_value=0, max_value=n - 1))
+        link = Link(u, u ^ (1 << b))
+        predicted = contention_free_reason(u, b, offset, d)
+        users = [
+            x for x in range(n)
+            if link in ecube_path_edges(x, x ^ offset)
+        ]
+        assert users == [predicted]

@@ -1,0 +1,106 @@
+"""Tests for alternative schedule orderings (§4.2 / report 91-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exchange import _execute
+from repro.core.blocks import BlockBuffer
+from repro.core.schedule import multiphase_schedule, validate_contention_free
+from repro.core.variants import (
+    ORDERINGS,
+    distance_profile,
+    multiphase_schedule_ordered,
+    offset_order,
+)
+from tests.conftest import small_cube_cases
+
+
+class TestOffsetOrder:
+    def test_index_order(self):
+        assert offset_order(3, "index") == list(range(1, 8))
+
+    def test_distance_order_sorted_by_popcount(self):
+        order = offset_order(4, "distance")
+        pops = [bin(o).count("1") for o in order]
+        assert pops == sorted(pops)
+
+    def test_distance_desc(self):
+        order = offset_order(4, "distance_desc")
+        pops = [bin(o).count("1") for o in order]
+        assert pops == sorted(pops, reverse=True)
+
+    def test_gray_adjacent_offsets_differ_by_one_bit(self):
+        order = offset_order(4, "gray")
+        for a, b in zip(order, order[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    @given(width=st.integers(min_value=1, max_value=8))
+    def test_every_ordering_is_a_permutation(self, ordering, width):
+        order = offset_order(width, ordering)
+        assert sorted(order) == list(range(1, 1 << width))
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="ordering"):
+            offset_order(3, "random")
+        with pytest.raises(ValueError):
+            offset_order(0, "index")
+
+
+class TestOrderedSchedules:
+    def test_index_reproduces_default(self):
+        assert multiphase_schedule_ordered(5, (3, 2), "index") == multiphase_schedule(5, (3, 2))
+
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    def test_contention_free(self, ordering):
+        for partition in ((5,), (3, 2), (1,) * 5):
+            steps = multiphase_schedule_ordered(5, partition, ordering)
+            validate_contention_free(steps, 5)
+
+    @settings(deadline=None, max_examples=20)
+    @given(small_cube_cases(), st.sampled_from(ORDERINGS))
+    def test_byte_identical_exchanges(self, case, ordering):
+        """Any ordering moves the same bytes to the same places."""
+        d, partition = case
+        steps = multiphase_schedule_ordered(d, partition, ordering)
+        buffers = [BlockBuffer.initial(node, d, 4) for node in range(1 << d)]
+        outcome = _execute(steps, buffers, d, "tags", record_trace=False)
+        outcome.verify()
+
+    def test_distance_multiset_invariant(self):
+        profiles = {
+            ordering: sorted(distance_profile(multiphase_schedule_ordered(5, (3, 2), ordering)))
+            for ordering in ORDERINGS
+        }
+        baseline = profiles["index"]
+        assert all(p == baseline for p in profiles.values())
+
+    def test_profiles_differ_in_sequence(self):
+        asc = distance_profile(multiphase_schedule_ordered(4, (4,), "distance"))
+        desc = distance_profile(multiphase_schedule_ordered(4, (4,), "distance_desc"))
+        assert asc == sorted(asc)
+        assert desc == sorted(desc, reverse=True)
+        assert asc != desc
+
+
+class TestSimulatedOrderings:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    def test_same_total_time_in_lockstep(self, ordering, ipsc):
+        """With pairwise-synchronized lockstep steps the total time is
+        ordering-invariant (the per-step costs commute)."""
+        from repro.comm.program import exchange_program
+        from repro.sim.machine import SimulatedHypercube
+
+        steps = multiphase_schedule_ordered(4, (2, 2), ordering)
+        machine = SimulatedHypercube(4, ipsc)
+        run = machine.run(exchange_program, steps=steps, m=16, engine="tags")
+        baseline_steps = multiphase_schedule(4, (2, 2))
+        machine2 = SimulatedHypercube(4, ipsc)
+        run2 = machine2.run(exchange_program, steps=baseline_steps, m=16, engine="tags")
+        assert run.time == pytest.approx(run2.time)
+        for buf in run.node_results:
+            buf.verify_complete_exchange_result()

@@ -1,0 +1,68 @@
+"""Tests for the independent exchange-correctness oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.verify import alltoall_reference, assert_exchange_correct, exchange_defect
+
+
+def make_send(n=4, m=6, seed=1):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size=(n, m), dtype=np.uint8) for _ in range(n)]
+
+
+class TestReference:
+    def test_defining_identity(self):
+        send = make_send()
+        recv = alltoall_reference(send)
+        for x in range(4):
+            for j in range(4):
+                assert np.array_equal(recv[x][j], send[j][x])
+
+    def test_reference_is_involution(self):
+        send = make_send()
+        twice = alltoall_reference(alltoall_reference(send))
+        for x in range(4):
+            assert np.array_equal(twice[x], send[x])
+
+    def test_shape_validation(self):
+        send = make_send()
+        send[1] = send[1][:3]
+        with pytest.raises(ValueError):
+            alltoall_reference(send)
+
+
+class TestDefects:
+    def test_clean(self):
+        send = make_send()
+        assert exchange_defect(send, alltoall_reference(send)) == []
+        assert_exchange_correct(send, alltoall_reference(send))
+
+    def test_detects_single_corruption(self):
+        send = make_send()
+        recv = alltoall_reference(send)
+        recv[2][3][0] ^= 1
+        assert exchange_defect(send, recv) == [(2, 3)]
+        with pytest.raises(AssertionError, match=r"\(2, 3\)"):
+            assert_exchange_correct(send, recv)
+
+    def test_detects_missing_rows(self):
+        send = make_send()
+        recv = alltoall_reference(send)
+        recv[1] = recv[1][:2]
+        defects = exchange_defect(send, recv)
+        assert {(1, j) for j in range(4)} <= set(defects)
+
+    def test_detects_swapped_blocks(self):
+        send = make_send()
+        recv = alltoall_reference(send)
+        recv[0][[0, 1]] = recv[0][[1, 0]]
+        defects = set(exchange_defect(send, recv))
+        assert defects == {(0, 0), (0, 1)}
+
+    def test_count_mismatch(self):
+        send = make_send()
+        with pytest.raises(ValueError):
+            exchange_defect(send, alltoall_reference(send)[:3])

@@ -1,0 +1,109 @@
+"""Tests for static contention analysis (paper §2 and §4.2)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hypercube.contention import (
+    analyze_contention,
+    count_edge_conflicts,
+    is_edge_contention_free,
+)
+from repro.hypercube.topology import Link
+
+
+class TestFigure1Contention:
+    def test_edge_contention_detected(self):
+        report = analyze_contention([(0, 31), (2, 23)])
+        assert not report.edge_contention_free
+        assert report.edge_conflicts == {Link(3, 7): 2}
+        assert report.max_edge_load == 2
+
+    def test_node_contention_detected_but_edges_clean(self):
+        report = analyze_contention([(0, 31), (14, 11)])
+        assert report.edge_contention_free
+        assert not report.node_contention_free
+        assert 15 in report.node_conflicts
+
+    def test_all_three_paths(self):
+        report = analyze_contention([(0, 31), (2, 23), (14, 11)])
+        assert report.n_circuits == 3
+        assert Link(3, 7) in report.edge_conflicts
+        assert "3 circuits" in report.summary()
+
+
+class TestBasics:
+    def test_empty(self):
+        report = analyze_contention([])
+        assert report.n_circuits == 0
+        assert report.max_edge_load == 0
+        assert report.edge_contention_free and report.node_contention_free
+
+    def test_self_circuits_ignored(self):
+        report = analyze_contention([(3, 3), (5, 5)])
+        assert report.n_circuits == 0
+
+    def test_single_circuit_clean(self):
+        assert is_edge_contention_free([(0, 7)])
+
+    def test_identical_circuits_conflict(self):
+        report = analyze_contention([(0, 7), (0, 7)])
+        assert not report.edge_contention_free
+        assert report.max_edge_load == 2
+
+    def test_endpoints_not_node_conflicts(self):
+        # circuits meeting only at an endpoint node do not count as
+        # node contention (the endpoint is not "intervening")
+        report = analyze_contention([(0, 1), (1, 3)])
+        assert report.node_contention_free
+
+
+class TestXorStepContention:
+    """The Schmiermund-Seidel property: every XOR-offset step is clean."""
+
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    def test_xor_steps_edge_contention_free(self, d, data):
+        offset = data.draw(st.integers(min_value=1, max_value=(1 << d) - 1))
+        circuits = [(x, x ^ offset) for x in range(1 << d)]
+        assert is_edge_contention_free(circuits)
+
+    def test_all_offsets_d5(self):
+        d = 5
+        for offset in range(1, 1 << d):
+            circuits = [(x, x ^ offset) for x in range(1 << d)]
+            report = analyze_contention(circuits)
+            assert report.edge_contention_free, f"offset {offset}: {report.summary()}"
+
+    def test_rotation_steps_are_statically_clean(self):
+        """Cyclic-shift permutations are congestion-free under e-cube —
+        the naive schedule's slowdown in simulation comes from
+        *unsynchronized* endpoint serialization and step overlap, not
+        per-step link sharing (see tests/comm/test_program.py)."""
+        d = 4
+        n = 1 << d
+        for s in range(1, n):
+            assert is_edge_contention_free([(x, (x + s) % n) for x in range(n)])
+
+    def test_bit_reversal_is_contended(self):
+        """The classic e-cube adversary: the bit-reversal permutation
+        oversubscribes links (the §2 'disastrous' scenario)."""
+        from repro.util.bitops import bit_reverse
+
+        for d in (4, 5, 6):
+            n = 1 << d
+            report = analyze_contention([(x, bit_reverse(x, d)) for x in range(n)])
+            assert not report.edge_contention_free
+        # load grows with dimension: 4-way sharing already at d=6
+        report6 = analyze_contention([(x, bit_reverse(x, 6)) for x in range(64)])
+        assert report6.max_edge_load >= 4
+
+    def test_count_edge_conflicts_over_schedule(self):
+        from repro.util.bitops import bit_reverse
+
+        d = 4
+        n = 1 << d
+        xor_schedule = [[(x, x ^ s) for x in range(n)] for s in range(1, n)]
+        reversal_burst = [[(x, bit_reverse(x, d)) for x in range(n)]]
+        assert count_edge_conflicts(xor_schedule) == 0
+        assert count_edge_conflicts(reversal_burst) > 0

@@ -1,0 +1,119 @@
+"""Tests for e-cube routing, including the paper's Figure 1 examples."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hypercube.routing import (
+    ecube_hops,
+    ecube_next_hop,
+    ecube_path,
+    ecube_path_edges,
+    path_dimensions,
+)
+from repro.hypercube.topology import Link
+from repro.util.bitops import popcount
+
+labels = st.integers(min_value=0, max_value=(1 << 7) - 1)
+
+
+class TestFigure1Examples:
+    """The three illustrative paths of paper Figure 1 (32-node cube)."""
+
+    def test_path_0_to_31(self):
+        assert ecube_path(0, 31) == [0, 1, 3, 7, 15, 31]
+        assert ecube_hops(0, 31) == 5
+
+    def test_path_2_to_23(self):
+        assert ecube_path(2, 23) == [2, 3, 7, 23]
+        assert ecube_hops(2, 23) == 3
+
+    def test_path_14_to_11(self):
+        assert ecube_path(14, 11) == [14, 15, 11]
+        assert ecube_hops(14, 11) == 2
+
+    def test_edge_sharing_0_31_with_2_23(self):
+        """Paths 0->31 and 2->23 share the edge 3-7."""
+        edges_a = set(ecube_path_edges(0, 31))
+        edges_b = set(ecube_path_edges(2, 23))
+        assert edges_a & edges_b == {Link(3, 7)}
+
+    def test_node_sharing_0_31_with_14_11(self):
+        """Paths 0->31 and 14->11 share node 15 but no edge."""
+        edges_a = set(ecube_path_edges(0, 31))
+        edges_b = set(ecube_path_edges(14, 11))
+        assert not (edges_a & edges_b)
+        nodes_a = set(ecube_path(0, 31)[1:-1])
+        nodes_b = set(ecube_path(14, 11)[1:-1])
+        assert 15 in nodes_a and 15 in nodes_b
+
+
+class TestNextHop:
+    def test_corrects_lowest_bit_first(self):
+        assert ecube_next_hop(0b000, 0b101) == 0b001
+        assert ecube_next_hop(0b001, 0b101) == 0b101
+
+    def test_rejects_at_destination(self):
+        with pytest.raises(ValueError):
+            ecube_next_hop(5, 5)
+
+
+class TestPathProperties:
+    def test_self_path(self):
+        assert ecube_path(9, 9) == [9]
+        assert ecube_path_edges(9, 9) == []
+        assert ecube_hops(9, 9) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ecube_path(-1, 3)
+        with pytest.raises(ValueError):
+            ecube_hops(0, -2)
+
+    @given(labels, labels)
+    def test_path_is_valid_walk(self, src, dst):
+        path = ecube_path(src, dst)
+        assert path[0] == src and path[-1] == dst
+        for a, b in zip(path, path[1:]):
+            assert popcount(a ^ b) == 1
+
+    @given(labels, labels)
+    def test_path_length_is_distance(self, src, dst):
+        assert len(ecube_path(src, dst)) == popcount(src ^ dst) + 1
+
+    @given(labels, labels)
+    def test_dimensions_strictly_increase(self, src, dst):
+        dims = list(path_dimensions(src, dst))
+        assert dims == sorted(dims)
+        assert len(dims) == len(set(dims)) == popcount(src ^ dst)
+
+    @given(labels, labels)
+    def test_path_edges_match_path(self, src, dst):
+        path = ecube_path(src, dst)
+        edges = ecube_path_edges(src, dst)
+        assert [(e.src, e.dst) for e in edges] == list(zip(path, path[1:]))
+
+    @given(labels, labels)
+    def test_path_never_revisits(self, src, dst):
+        path = ecube_path(src, dst)
+        assert len(path) == len(set(path))
+
+    @given(labels, labels)
+    def test_determinism(self, src, dst):
+        assert ecube_path(src, dst) == ecube_path(src, dst)
+
+    @given(labels, labels)
+    def test_reverse_path_same_dimensions_generally_different_edges(self, src, dst):
+        """Both directions cross the same dimension set; the edge sets
+        coincide only for distance <= 1."""
+        fwd = set(path_dimensions(src, dst))
+        bwd = set(path_dimensions(dst, src))
+        assert fwd == bwd
+        if popcount(src ^ dst) > 1:
+            edges_fwd = {e.undirected for e in ecube_path_edges(src, dst)}
+            edges_bwd = {e.undirected for e in ecube_path_edges(dst, src)}
+            # they share at most the endpoints' incident edges; for
+            # distance >= 2 the full sets cannot be identical
+            assert edges_fwd != edges_bwd

@@ -1,0 +1,108 @@
+"""Tests for subcube decompositions and phase bit groups."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hypercube.subcube import BitGroup, phase_bit_groups, subcube_of, subcubes_for_bits
+from tests.conftest import small_cube_cases
+
+
+class TestBitGroup:
+    def test_fields(self):
+        group = BitGroup(lo=1, width=2)
+        assert group.hi == 2
+        assert group.mask == 0b110
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            BitGroup(lo=-1, width=2)
+        with pytest.raises(ValueError):
+            BitGroup(lo=0, width=0)
+
+    def test_coordinate_and_base(self):
+        group = BitGroup(lo=1, width=2)
+        assert group.coordinate(0b0110) == 0b11
+        assert group.base(0b0110) == 0b0000
+        assert group.base(0b1011) == 0b1001
+
+    def test_member(self):
+        group = BitGroup(lo=1, width=2)
+        assert group.member(0b1000, 0b11) == 0b1110
+        with pytest.raises(ValueError):
+            group.member(0b0010, 0)  # base has a group bit set
+        with pytest.raises(ValueError):
+            group.member(0, 4)  # coordinate out of range
+
+
+class TestPhaseBitGroups:
+    def test_msb_first_assignment(self):
+        groups = phase_bit_groups((2, 1), 3)
+        assert [(g.lo, g.width) for g in groups] == [(1, 2), (0, 1)]
+
+    def test_all_ones(self):
+        groups = phase_bit_groups((1, 1, 1, 1), 4)
+        assert [(g.lo, g.width) for g in groups] == [(3, 1), (2, 1), (1, 1), (0, 1)]
+
+    def test_single_phase(self):
+        (group,) = phase_bit_groups((5,), 5)
+        assert (group.lo, group.width) == (0, 5)
+
+    @given(small_cube_cases())
+    def test_groups_tile_the_label(self, case):
+        d, partition = case
+        groups = phase_bit_groups(partition, d)
+        covered = 0
+        for g in groups:
+            assert covered & g.mask == 0, "groups overlap"
+            covered |= g.mask
+        assert covered == (1 << d) - 1, "groups do not cover all bits"
+
+    def test_rejects_bad_partition(self):
+        with pytest.raises(ValueError):
+            phase_bit_groups((2, 2), 3)
+
+
+class TestSubcube:
+    def test_nodes_and_coordinates(self):
+        group = BitGroup(lo=1, width=2)
+        cube = subcube_of(0b0110, group, 4)
+        assert cube.base == 0b0000
+        assert list(cube.nodes()) == [0b0000, 0b0010, 0b0100, 0b0110]
+        assert cube.coordinate(0b0110) == 3
+        assert cube.contains(0b0100)
+        assert not cube.contains(0b1000)
+
+    def test_coordinate_rejects_foreign_node(self):
+        group = BitGroup(lo=0, width=1)
+        cube = subcube_of(0, group, 3)
+        with pytest.raises(ValueError):
+            cube.coordinate(0b010)
+
+    def test_decomposition_partitions_nodes(self):
+        d = 5
+        group = BitGroup(lo=1, width=2)
+        seen = set()
+        cubes = list(subcubes_for_bits(group, d))
+        assert len(cubes) == 1 << (d - group.width)
+        for cube in cubes:
+            members = set(cube.nodes())
+            assert len(members) == cube.n_nodes == 4
+            assert not (members & seen)
+            seen |= members
+        assert seen == set(range(1 << d))
+
+    def test_rejects_oversized_group(self):
+        with pytest.raises(ValueError):
+            list(subcubes_for_bits(BitGroup(lo=2, width=3), 4))
+
+    @given(small_cube_cases())
+    def test_every_phase_group_partitions_nodes(self, case):
+        d, partition = case
+        for group in phase_bit_groups(partition, d):
+            union = set()
+            for cube in subcubes_for_bits(group, d):
+                union |= set(cube.nodes())
+            assert union == set(range(1 << d))

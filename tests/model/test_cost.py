@@ -1,0 +1,150 @@
+"""Tests for the analytic cost model (eqs. 1-3) against the paper's
+published numbers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitions import compositions, partitions
+from repro.model.cost import (
+    multiphase_time,
+    optimal_time,
+    phase_breakdown,
+    phase_cost,
+    standard_time,
+    total_distance,
+)
+from repro.util.bitops import popcount
+from tests.conftest import small_cube_cases
+
+
+class TestTotalDistance:
+    def test_known(self):
+        assert total_distance(0) == 0
+        assert total_distance(1) == 1
+        assert total_distance(3) == 12
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_matches_popcount_sum(self, d):
+        assert total_distance(d) == sum(popcount(i) for i in range(1, 1 << d))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            total_distance(-1)
+
+
+class TestPaperNumbers:
+    """Every numeric claim of §4.3 and §5.1."""
+
+    def test_eq1_standard_exchange(self, hypo):
+        assert standard_time(24, 6, hypo) == pytest.approx(15144.0)
+
+    def test_section51_phase2(self, hypo):
+        cost = phase_cost(24, 2, 6, hypo, n_phases=2)
+        assert cost.effective_block == 384.0
+        assert cost.transmission + cost.distance == pytest.approx(1832.0)
+
+    def test_section51_phase4_formula_value(self, hypo):
+        """Paper quotes 6040 µs via a 160-byte effective block; the
+        formula m*2**(d-d_i) gives 96 bytes and 5080 µs (DESIGN.md §3)."""
+        cost = phase_cost(24, 4, 6, hypo, n_phases=2)
+        assert cost.effective_block == 96.0
+        assert cost.transmission + cost.distance == pytest.approx(5080.0)
+
+    def test_section51_shuffle_total(self, hypo):
+        phases = phase_breakdown(24, 6, (2, 4), hypo)
+        assert sum(p.shuffle for p in phases) == pytest.approx(3072.0)
+
+    def test_section51_two_phase_beats_standard(self, hypo):
+        assert multiphase_time(24, 6, (2, 4), hypo) == pytest.approx(9984.0)
+        assert multiphase_time(24, 6, (2, 4), hypo) < standard_time(24, 6, hypo)
+
+    def test_figure6_caption_values(self, ipsc):
+        t_se = multiphase_time(40, 7, (1,) * 7, ipsc) * 1e-6
+        t_ocs = multiphase_time(40, 7, (7,), ipsc) * 1e-6
+        t_34 = multiphase_time(40, 7, (3, 4), ipsc) * 1e-6
+        assert t_se == pytest.approx(0.037, abs=0.004)
+        assert t_ocs == pytest.approx(0.037, abs=0.004)
+        assert t_34 == pytest.approx(0.016, abs=0.002)
+        assert min(t_se, t_ocs) / t_34 > 2.0
+
+
+class TestDegeneracy:
+    """Multiphase with extreme partitions equals the classic formulas
+    when synchronization overheads are absent (paper §5.2)."""
+
+    @given(st.integers(min_value=2, max_value=8),
+           st.floats(min_value=0.0, max_value=500.0))
+    def test_all_ones_equals_eq1(self, d, m):
+        """d >= 2: at d == 1 the partitions (1,) and (d,) coincide, the
+        single-phase rule omits the (identity) shuffle, and eq. (1)
+        nominally charges it — the model follows the machine, not the
+        formula's vacuous term."""
+        from repro.model.params import hypothetical
+
+        h = hypothetical()
+        assert multiphase_time(m, d, (1,) * d, h) == pytest.approx(standard_time(m, d, h))
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.floats(min_value=0.0, max_value=500.0))
+    def test_single_phase_equals_eq2(self, d, m):
+        from repro.model.params import hypothetical
+
+        h = hypothetical()
+        assert multiphase_time(m, d, (d,), h) == pytest.approx(optimal_time(m, d, h))
+
+
+class TestModelShape:
+    @given(small_cube_cases(), st.floats(min_value=0, max_value=400),
+           st.floats(min_value=0.1, max_value=400))
+    def test_monotone_in_block_size(self, case, m, dm):
+        from repro.model.params import ipsc860
+
+        d, partition = case
+        p = ipsc860()
+        assert multiphase_time(m + dm, d, partition, p) > multiphase_time(m, d, partition, p)
+
+    @settings(deadline=None)
+    @given(st.integers(min_value=1, max_value=8), st.floats(min_value=0, max_value=400))
+    def test_order_invariance_of_cost(self, d, m):
+        """Cost depends only on the multiset of parts (paper footnote)."""
+        from repro.model.params import ipsc860
+
+        p = ipsc860()
+        for comp in compositions(d):
+            canonical = tuple(sorted(comp, reverse=True))
+            assert multiphase_time(m, d, comp, p) == pytest.approx(
+                multiphase_time(m, d, canonical, p)
+            )
+
+    def test_zero_block_size_still_costs_startups(self, ipsc):
+        t = multiphase_time(0.0, 5, (5,), ipsc)
+        expected = 31 * 177.5 + 20.6 * total_distance(5) + 150 * 5
+        assert t == pytest.approx(expected)
+
+    def test_phase_cost_breakdown_sums(self, ipsc):
+        for partition in partitions(6):
+            total = multiphase_time(20, 6, partition, ipsc)
+            parts = phase_breakdown(20, 6, partition, ipsc)
+            assert sum(p.total for p in parts) == pytest.approx(total)
+
+    def test_shuffle_omitted_single_phase(self, ipsc):
+        (only,) = phase_breakdown(32, 5, (5,), ipsc)
+        assert only.shuffle == 0.0
+
+    def test_shuffle_charged_multiphase(self, ipsc):
+        phases = phase_breakdown(32, 5, (3, 2), ipsc)
+        for p in phases:
+            assert p.shuffle == pytest.approx(0.54 * 32 * 32)
+
+    def test_validation(self, ipsc):
+        with pytest.raises(ValueError):
+            phase_cost(10, 0, 5, ipsc, n_phases=1)
+        with pytest.raises(ValueError):
+            phase_cost(10, 6, 5, ipsc, n_phases=1)
+        with pytest.raises(ValueError):
+            phase_cost(10, 2, 5, ipsc, n_phases=0)
+        with pytest.raises(ValueError):
+            multiphase_time(-1, 5, (5,), ipsc)

@@ -1,0 +1,85 @@
+"""Tests for the SE/OCS crossover analysis (paper §4.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.crossover import crossover_block_size, empirical_crossover, standard_wins
+from repro.model.cost import optimal_time, standard_time
+
+
+class TestClosedForm:
+    def test_paper_value(self, hypo):
+        """'the Standard Exchange algorithm is better for blocks of
+        size less than 30' (d=6, τ=ρ=1, λ=200, δ=20)."""
+        m_star = crossover_block_size(6, hypo)
+        assert 29.0 < m_star < 30.0
+
+    def test_threshold_separates_regimes(self, hypo):
+        m_star = crossover_block_size(6, hypo)
+        assert standard_wins(m_star - 1.0, 6, hypo)
+        assert not standard_wins(m_star + 1.0, 6, hypo)
+
+    @given(st.integers(min_value=2, max_value=10))
+    def test_equality_at_threshold(self, d):
+        from repro.model.params import hypothetical
+
+        h = hypothetical()
+        m_star = crossover_block_size(d, h)
+        assert standard_time(m_star, d, h) == pytest.approx(optimal_time(m_star, d, h))
+
+    def test_rejects_d1(self, hypo):
+        with pytest.raises(ValueError):
+            crossover_block_size(1, hypo)
+
+    def test_ipsc_crossover_positive(self, ipsc):
+        """On the real machine's raw constants the crossover exists and
+        sits in the tens of bytes."""
+        for d in (5, 6, 7):
+            m_star = crossover_block_size(d, ipsc)
+            assert 0 < m_star < 400
+
+
+class TestEmpirical:
+    def test_matches_closed_form_without_overheads(self, hypo):
+        analytic = crossover_block_size(6, hypo)
+        numeric = empirical_crossover(6, hypo)
+        assert numeric == pytest.approx(analytic, abs=1e-3)
+
+    def test_full_model_crossover_on_ipsc(self, ipsc):
+        """Including §7 overheads the SE/OCS switch still exists; the
+        figures put it in the low hundreds of bytes at most."""
+        for d in (5, 6, 7):
+            m_star = empirical_crossover(d, ipsc)
+            assert m_star is not None
+            assert 0 < m_star < 400
+
+    def test_custom_partitions(self, ipsc):
+        """Crossover between {3,2} and {5} on d=5 is the Figure 4 hull
+        boundary (~100 bytes)."""
+        m_star = empirical_crossover(5, ipsc, partition_a=(3, 2), partition_b=(5,))
+        assert m_star == pytest.approx(100.3, abs=1.0)
+
+    def test_none_when_no_crossover(self, ipsc):
+        # identical partitions never cross
+        assert empirical_crossover(5, ipsc, partition_a=(3, 2), partition_b=(2, 3)) is None
+
+    @settings(deadline=None)
+    @given(st.integers(min_value=2, max_value=7))
+    def test_bisection_brackets_sign_change(self, d):
+        from repro.model.cost import multiphase_time
+        from repro.model.params import ipsc860
+
+        p = ipsc860()
+        m_star = empirical_crossover(d, p)
+        if m_star is None:
+            return
+        before = multiphase_time(max(m_star - 0.5, 0.0), d, (1,) * d, p) - multiphase_time(
+            max(m_star - 0.5, 0.0), d, (d,), p
+        )
+        after = multiphase_time(m_star + 0.5, d, (1,) * d, p) - multiphase_time(
+            m_star + 0.5, d, (d,), p
+        )
+        assert before <= 0 <= after or before >= 0 >= after

@@ -1,0 +1,77 @@
+"""Tests for machine parameter presets and derived constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.params import PRESETS, MachineParams, hypothetical, ipsc860
+
+
+class TestIPSC860Preset:
+    """The §7.4 measured constants."""
+
+    def test_raw_constants(self, ipsc):
+        assert ipsc.latency == 95.0
+        assert ipsc.byte_time == 0.394
+        assert ipsc.hop_time == 10.3
+        assert ipsc.sync_latency == 82.5
+        assert ipsc.permute_time == 0.54
+        assert ipsc.global_sync_per_dim == 150.0
+        assert ipsc.pairwise_sync
+
+    def test_effective_constants(self, ipsc):
+        """λ_eff = 177.5 µs and δ_eff = 20.6 µs/dim (paper §7.4)."""
+        assert ipsc.exchange_latency == pytest.approx(177.5)
+        assert ipsc.exchange_hop_time == pytest.approx(20.6)
+
+    def test_message_time(self, ipsc):
+        assert ipsc.message_time(0, 0) == pytest.approx(95.0)
+        assert ipsc.message_time(100, 2) == pytest.approx(95.0 + 39.4 + 20.6)
+
+    def test_exchange_time(self, ipsc):
+        assert ipsc.exchange_time(0, 1) == pytest.approx(177.5 + 20.6)
+
+    def test_global_sync(self, ipsc):
+        assert ipsc.global_sync_time(7) == pytest.approx(1050.0)
+
+    def test_shuffle_time(self, ipsc):
+        assert ipsc.shuffle_time(1000) == pytest.approx(540.0)
+
+
+class TestHypotheticalPreset:
+    """The §4.3 teaching machine: τ = ρ = 1, λ = 200, δ = 20."""
+
+    def test_constants(self, hypo):
+        assert hypo.latency == 200.0
+        assert hypo.byte_time == 1.0
+        assert hypo.hop_time == 20.0
+        assert hypo.permute_time == 1.0
+        assert not hypo.pairwise_sync
+        assert hypo.global_sync_per_dim == 0.0
+
+    def test_effective_equals_raw_without_sync(self, hypo):
+        assert hypo.exchange_latency == hypo.latency
+        assert hypo.exchange_hop_time == hypo.hop_time
+
+
+class TestMachineParams:
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            MachineParams(name="bad", latency=-1, byte_time=1, hop_time=1, permute_time=1)
+        with pytest.raises(ValueError):
+            MachineParams(name="bad", latency=1, byte_time=1, hop_time=1, permute_time=-0.5)
+
+    def test_with_overrides(self, ipsc):
+        free_shuffle = ipsc.with_overrides(permute_time=0.0)
+        assert free_shuffle.permute_time == 0.0
+        assert free_shuffle.latency == ipsc.latency
+        assert ipsc.permute_time == 0.54  # original untouched (frozen)
+
+    def test_frozen(self, ipsc):
+        with pytest.raises(AttributeError):
+            ipsc.latency = 1.0
+
+    def test_presets_registry(self):
+        assert set(PRESETS) == {"ipsc860", "hypothetical"}
+        assert PRESETS["ipsc860"]().name == ipsc860().name
+        assert PRESETS["hypothetical"]().name == hypothetical().name

@@ -1,0 +1,78 @@
+"""Tests for the sensitivity/ablation studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.sensitivity import (
+    free_permutation_study,
+    hull_under,
+    latency_sweep,
+    sync_overhead_study,
+)
+
+
+class TestFreePermutation:
+    @pytest.mark.parametrize("d", [5, 6, 7])
+    def test_multiphase_survives_free_shuffles(self, d):
+        base, free = free_permutation_study(d)
+        # multiphase partitions still populate the small-block end
+        assert len(free.hull[0]) > 1
+        # and the single-phase takeover point moves right (or stays)
+        assert free.single_phase_threshold >= base.single_phase_threshold
+
+    def test_paper_robustness_claim_d7(self):
+        """'valid even if the cost of permutation is zero': at the
+        Figure 6 headline point the multiphase partition still wins."""
+        from repro.model.optimizer import best_partition
+        from repro.model.params import ipsc860
+
+        free = ipsc860().with_overrides(permute_time=0.0)
+        assert len(best_partition(40.0, 7, free).partition) > 1
+
+
+class TestSyncOverheads:
+    @pytest.mark.parametrize("d", [5, 6])
+    def test_removing_sync_restores_standard_exchange(self, d):
+        base, nosync = sync_overhead_study(d)
+        # with sync overheads, SE never appears on the iPSC hull
+        assert (1,) * d not in base.hull
+        # without them, SE owns the smallest blocks (the §4.3 regime)
+        assert nosync.hull[0] == (1,) * d
+
+    def test_sync_free_machine_equals_paper_43_structure(self):
+        _, nosync = sync_overhead_study(6)
+        # the hull must still end with the single-phase algorithm
+        assert nosync.hull[-1] == (6,)
+
+
+class TestLatencySweep:
+    def test_crossover_monotone_in_latency(self):
+        sweep = latency_sweep(6)
+        values = [c for _, c in sweep]
+        assert values == sorted(values)
+        assert all(c > 0 for c in values)
+
+    def test_paper_point_in_sweep(self):
+        """At the measured λ = 95 µs the crossover is in the tens of
+        bytes — consistent with Figures 4-6."""
+        sweep = dict(latency_sweep(6))
+        assert 0 < sweep[95.0] < 200
+
+
+class TestHullUnder:
+    def test_label_carried(self, ipsc):
+        shift = hull_under("base", ipsc, 5)
+        assert shift.label == "base"
+        assert shift.hull == ((3, 2), (5,))
+
+    def test_single_phase_threshold(self, ipsc):
+        shift = hull_under("base", ipsc, 5)
+        assert shift.single_phase_threshold == pytest.approx(100.3, abs=1.0)
+
+    def test_threshold_infinite_when_single_phase_never_wins(self, ipsc):
+        # make startups free: many-phase partitions win everywhere
+        cheap = ipsc.with_overrides(latency=0.0, sync_latency=0.0)
+        shift = hull_under("free startup", cheap, 5, m_max=100.0)
+        if len(shift.hull[-1]) > 1:
+            assert shift.single_phase_threshold == float("inf")

@@ -1,0 +1,73 @@
+"""Tests for optimizer-table persistence (§6: 'stored for repeated
+future use')."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.model.optimizer import hull_of_optimality
+from repro.model.params import hypothetical, ipsc860
+from repro.model.store import load_table, save_table, table_from_dict, table_to_dict
+
+
+@pytest.fixture(scope="module")
+def table():
+    return hull_of_optimality(5, ipsc860())
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, table):
+        doc = table_to_dict(table, ipsc860())
+        restored, params = table_from_dict(doc)
+        assert restored == table
+        assert params == ipsc860()
+
+    def test_file_roundtrip(self, table, tmp_path):
+        path = save_table(table, ipsc860(), tmp_path / "d5.json")
+        restored, params = load_table(path)
+        assert restored.lookup(40.0) == table.lookup(40.0)
+        assert restored.boundaries == table.boundaries
+        assert params.name == "iPSC-860"
+
+    def test_lookup_after_restore(self, table, tmp_path):
+        path = save_table(table, ipsc860(), tmp_path / "d5.json")
+        restored, _ = load_table(path)
+        for m in (0.0, 50.0, 100.0, 400.0):
+            assert restored.lookup(m) == table.lookup(m)
+
+
+class TestValidation:
+    def test_parameter_fingerprint_guard(self, table, tmp_path):
+        path = save_table(table, ipsc860(), tmp_path / "d5.json")
+        with pytest.raises(ValueError, match="different constants"):
+            load_table(path, expected_params=hypothetical())
+
+    def test_matching_fingerprint_accepted(self, table, tmp_path):
+        path = save_table(table, ipsc860(), tmp_path / "d5.json")
+        restored, _ = load_table(path, expected_params=ipsc860())
+        assert restored == table
+
+    def test_rejects_unknown_format(self, table, tmp_path):
+        doc = table_to_dict(table, ipsc860())
+        doc["format_version"] = 99
+        with pytest.raises(ValueError, match="format"):
+            table_from_dict(doc)
+
+    def test_rejects_corrupt_segments(self, table, tmp_path):
+        doc = table_to_dict(table, ipsc860())
+        doc["segments"][0] = [9, 9]
+        with pytest.raises(ValueError, match="partition"):
+            table_from_dict(doc)
+
+    def test_rejects_mismatched_lengths(self, table):
+        doc = table_to_dict(table, ipsc860())
+        doc["boundaries"].append(500.0)
+        with pytest.raises(ValueError, match="segments"):
+            table_from_dict(doc)
+
+    def test_file_is_plain_json(self, table, tmp_path):
+        path = save_table(table, ipsc860(), tmp_path / "d5.json")
+        doc = json.loads(path.read_text())
+        assert doc["d"] == 5

@@ -1,0 +1,67 @@
+"""Edge cases shared across the pattern collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.patterns.allgather import allgather, simulate_allgather
+from repro.patterns.broadcast import broadcast, simulate_broadcast
+from repro.patterns.scatter import scatter, simulate_scatter
+
+
+class TestDegenerateCube:
+    """d = 0: a single node; every collective is a local no-op."""
+
+    def test_broadcast_single_node(self):
+        out = broadcast(np.array([5], dtype=np.uint8), root=0, d=0)
+        assert len(out) == 1 and out[0][0] == 5
+
+    def test_scatter_single_node(self):
+        out = scatter(np.array([[1, 2]], dtype=np.uint8), root=0, d=0)
+        assert np.array_equal(out[0], [1, 2])
+
+    def test_allgather_single_node(self):
+        out = allgather(np.array([[9]], dtype=np.uint8), 0)
+        assert np.array_equal(out[0], [[9]])
+
+
+class TestZeroByteMessages:
+    """The paper measures down to m = 0; collectives must too."""
+
+    def test_broadcast_empty_message(self, ipsc):
+        t, _ = simulate_broadcast(3, 0, ipsc)
+        assert t > 0  # startups still paid
+
+    def test_scatter_empty_blocks(self, ipsc):
+        t, _ = simulate_scatter(3, 0, ipsc)
+        assert t > 0
+
+    def test_allgather_empty_contributions(self, ipsc):
+        t, _ = simulate_allgather(3, 0, ipsc)
+        assert t > 0
+
+
+class TestTraceShape:
+    def test_broadcast_message_count(self, ipsc):
+        """A binomial broadcast uses exactly n - 1 messages."""
+        _, run = simulate_broadcast(4, 8, ipsc)
+        assert run.trace.n_transmissions == 15
+
+    def test_scatter_message_count(self, ipsc):
+        """Recursive halving also uses exactly n - 1 messages."""
+        _, run = simulate_scatter(4, 8, ipsc)
+        assert run.trace.n_transmissions == 15
+
+    def test_allgather_exchange_count(self, ipsc):
+        """d synchronized exchanges per node: d * n trace records
+        (each exchange logs both directions)."""
+        _, run = simulate_allgather(4, 8, ipsc)
+        assert run.trace.n_transmissions == 4 * 16
+
+    def test_allgather_volume_doubling(self, ipsc):
+        """Per-step payloads follow m, 2m, 4m, ... per node."""
+        m = 8
+        _, run = simulate_allgather(3, m, ipsc)
+        sizes = sorted({t.nbytes for t in run.trace.transmissions})
+        assert sizes == [m, 2 * m, 4 * m]

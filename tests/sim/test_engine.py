@@ -1,0 +1,147 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Delay, Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(5.0, lambda: log.append("b"))
+        engine.schedule(1.0, lambda: log.append("a"))
+        engine.schedule(9.0, lambda: log.append("c"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+        assert engine.now == 9.0
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = Engine()
+        log = []
+        for name in "abc":
+            engine.schedule(2.0, lambda n=name: log.append(n))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_rejects_past(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_at_absolute_time(self):
+        engine = Engine()
+        seen = []
+        engine.at(4.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [4.0]
+
+    def test_until_caps_run(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda: log.append(1))
+        engine.schedule(10.0, lambda: log.append(10))
+        final = engine.run(until=5.0)
+        assert log == [1]
+        assert final == 5.0
+
+    def test_event_cap(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule(1.0, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError, match="event cap"):
+            engine.run(max_events=100)
+
+    def test_n_events_counted(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.n_events == 5
+
+
+class TestProcesses:
+    def test_delay_and_result(self):
+        engine = Engine()
+
+        def proc():
+            yield Delay(3.0)
+            yield Delay(4.0)
+            return "done"
+
+        process = engine.spawn(proc())
+        engine.run()
+        assert process.finished
+        assert process.result == "done"
+        assert process.end_time == 7.0
+
+    def test_multiple_processes_interleave(self):
+        engine = Engine()
+        log = []
+
+        def proc(name, step):
+            for i in range(3):
+                yield Delay(step)
+                log.append((engine.now, name))
+
+        engine.spawn(proc("fast", 1.0), name="fast")
+        engine.spawn(proc("slow", 2.0), name="slow")
+        engine.run()
+        # at t=2.0 slow's event was scheduled earlier (t=0) than fast's
+        # second delay (t=1), so slow wins the tie
+        assert log == [
+            (1.0, "fast"), (2.0, "slow"), (2.0, "fast"),
+            (3.0, "fast"), (4.0, "slow"), (6.0, "slow"),
+        ]
+
+    def test_rejects_non_request_yield(self):
+        engine = Engine()
+
+        def proc():
+            yield 42
+
+        engine.spawn(proc())
+        with pytest.raises(SimulationError, match="yielded"):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1.0)
+
+    def test_deadlock_detection(self):
+        from repro.sim.engine import Request
+
+        class Never(Request):
+            def activate(self, engine, process):
+                pass  # never resumes
+
+        engine = Engine()
+
+        def proc():
+            yield Never()
+
+        engine.spawn(proc(), name="stuck")
+        with pytest.raises(SimulationError, match="deadlock.*stuck"):
+            engine.run()
+
+    def test_determinism(self):
+        def run_once():
+            engine = Engine()
+            log = []
+
+            def proc(name, step):
+                for _ in range(4):
+                    yield Delay(step)
+                    log.append((engine.now, name))
+
+            engine.spawn(proc("a", 1.5))
+            engine.spawn(proc("b", 1.5))
+            engine.run()
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,107 @@
+"""Failure-injection tests: broken links on a fixed-routing machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.program import exchange_program
+from repro.core.schedule import multiphase_schedule
+from repro.hypercube.topology import Link
+from repro.model.params import ipsc860
+from repro.sim.engine import SimulationError
+from repro.sim.machine import SimulatedHypercube
+
+
+class TestLinkFailure:
+    def test_circuit_through_failed_link_raises(self):
+        machine = SimulatedHypercube(3, ipsc860())
+        machine.network.fail_link(Link(0, 1))
+
+        def program(ctx):
+            if ctx.rank in (0, 1):
+                yield ctx.exchange(ctx.rank ^ 1, payload=None, nbytes=8)
+
+        with pytest.raises(SimulationError, match="failed link"):
+            machine.run(program)
+
+    def test_unrelated_circuits_unaffected(self):
+        machine = SimulatedHypercube(3, ipsc860())
+        machine.network.fail_link(Link(0, 1))
+
+        def program(ctx):
+            if ctx.rank in (6, 7):
+                yield ctx.exchange(ctx.rank ^ 1, payload=ctx.rank, nbytes=8)
+                return "done"
+            yield ctx.delay(0.0)
+            return "idle"
+
+        result = machine.run(program)
+        assert result.node_results[6] == "done"
+
+    def test_intermediate_hop_failure_detected(self):
+        """The failed link need not touch either endpoint: e-cube from
+        2 to 23 rides 3->7."""
+        machine = SimulatedHypercube(5, ipsc860())
+        machine.network.fail_link(Link(3, 7))
+
+        def program(ctx):
+            if ctx.rank == 2:
+                yield ctx.send(23, payload=None, nbytes=4, tag=0)
+            elif ctx.rank == 23:
+                yield ctx.recv(2, tag=0)
+            else:
+                yield ctx.delay(0.0)
+
+        with pytest.raises(SimulationError, match="3->7"):
+            machine.run(program)
+
+    def test_restore_link(self):
+        machine = SimulatedHypercube(2, ipsc860())
+        machine.network.fail_link(Link(0, 1))
+        machine.network.restore_link(Link(0, 1))
+
+        def program(ctx):
+            other = ctx.rank ^ 1
+            got = yield ctx.exchange(other, payload=ctx.rank, nbytes=4)
+            return got
+
+        result = machine.run(program)
+        assert result.node_results[0] == 1
+
+    def test_one_directional_failure(self):
+        machine = SimulatedHypercube(1, ipsc860())
+        machine.network.fail_link(Link(0, 1), both_directions=False)
+
+        def program(ctx):
+            # only 1 -> 0 traffic; the 0 -> 1 direction is dead but unused
+            if ctx.rank == 1:
+                yield ctx.send(0, payload="ok", nbytes=4, tag=0)
+            else:
+                got = yield ctx.recv(1, tag=0)
+                return got
+
+        assert machine.run(program).node_results[0] == "ok"
+
+
+class TestExchangeUnderFaults:
+    def test_whole_exchange_fails_loudly_not_silently(self):
+        """A complete exchange over a cube with any dead link must
+        raise, never deliver a quietly-wrong result."""
+        machine = SimulatedHypercube(3, ipsc860())
+        machine.network.fail_link(Link(5, 7))
+        steps = multiphase_schedule(3, (2, 1))
+        with pytest.raises(SimulationError, match="failed link"):
+            machine.run(exchange_program, steps=steps, m=8, engine="tags")
+
+    def test_every_single_link_is_load_bearing(self):
+        """For the single-phase exchange on d=2, failing each of the 8
+        directed links individually always breaks the run — the
+        schedule uses the whole machine."""
+        from repro.hypercube.topology import Hypercube
+
+        for link in Hypercube(2).links():
+            machine = SimulatedHypercube(2, ipsc860())
+            machine.network.fail_link(link, both_directions=False)
+            steps = multiphase_schedule(2, (2,))
+            with pytest.raises(SimulationError):
+                machine.run(exchange_program, steps=steps, m=4, engine="tags")

@@ -1,0 +1,231 @@
+"""Tests for the simulated machine: message semantics, rendezvous,
+barriers, and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.params import ipsc860
+from repro.sim.engine import SimulationError
+from repro.sim.machine import SimulatedHypercube
+
+
+class TestExchange:
+    def test_pairwise_exchange_swaps_payloads(self):
+        machine = SimulatedHypercube(2, ipsc860())
+
+        def program(ctx):
+            other = ctx.rank ^ 1
+            data = yield ctx.exchange(other, payload=ctx.rank * 10, nbytes=8)
+            return data
+
+        result = machine.run(program)
+        assert result.node_results == [10, 0, 30, 20]
+
+    def test_exchange_time_matches_model(self):
+        params = ipsc860()
+        machine = SimulatedHypercube(3, params)
+
+        def program(ctx):
+            other = ctx.rank ^ 0b111  # distance 3
+            yield ctx.exchange(other, payload=None, nbytes=40)
+
+        result = machine.run(program)
+        assert result.time == pytest.approx(params.exchange_time(40, 3))
+
+    def test_self_exchange_rejected(self):
+        machine = SimulatedHypercube(2, ipsc860())
+
+        def program(ctx):
+            yield ctx.exchange(ctx.rank, payload=None, nbytes=0)
+
+        with pytest.raises(ValueError, match="exchange with self"):
+            machine.run(program)
+
+    def test_mismatched_partners_deadlock(self):
+        machine = SimulatedHypercube(1, ipsc860())
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.exchange(1, payload=None, nbytes=0, tag=1)
+            else:
+                yield ctx.exchange(0, payload=None, nbytes=0, tag=2)  # tag mismatch
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            machine.run(program)
+
+    def test_rendezvous_waits_for_late_partner(self):
+        params = ipsc860()
+        machine = SimulatedHypercube(1, params)
+
+        def program(ctx):
+            if ctx.rank == 1:
+                yield ctx.delay(500.0)
+            yield ctx.exchange(ctx.rank ^ 1, payload=None, nbytes=0)
+
+        result = machine.run(program)
+        assert result.time == pytest.approx(500.0 + params.exchange_time(0, 1))
+
+
+class TestForcedMessages:
+    def test_posted_receive_delivers(self):
+        machine = SimulatedHypercube(1, ipsc860())
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.post_recv(1, tag=7)
+                yield ctx.barrier()
+                data = yield ctx.recv(1, tag=7)
+                return data
+            yield ctx.barrier()
+            yield ctx.send(0, payload="hello", nbytes=16, tag=7)
+            return None
+
+        result = machine.run(program)
+        assert result.node_results[0] == "hello"
+
+    def test_unposted_forced_is_fatal_by_default(self):
+        machine = SimulatedHypercube(1, ipsc860())
+
+        def program(ctx):
+            if ctx.rank == 1:
+                yield ctx.send(0, payload="x", nbytes=8, tag=3)
+            else:
+                yield ctx.delay(10_000.0)  # never posts
+
+        with pytest.raises(SimulationError, match="no posted receive"):
+            machine.run(program)
+
+    def test_unposted_forced_dropped_when_lenient(self):
+        machine = SimulatedHypercube(1, ipsc860(), strict_forced=False)
+
+        def program(ctx):
+            if ctx.rank == 1:
+                yield ctx.send(0, payload="x", nbytes=8, tag=3)
+            else:
+                yield ctx.delay(10_000.0)
+
+        result = machine.run(program)
+        assert len(result.trace.dropped_messages) == 1
+        src, dst, tag, _ = result.trace.dropped_messages[0]
+        assert (src, dst, tag) == (1, 0, 3)
+
+    def test_blocked_recv_counts_as_posted(self):
+        machine = SimulatedHypercube(1, ipsc860())
+
+        def program(ctx):
+            if ctx.rank == 0:
+                data = yield ctx.recv(1, tag=0)
+                return data
+            yield ctx.delay(50.0)
+            yield ctx.send(0, payload=123, nbytes=4, tag=0)
+            return None
+
+        result = machine.run(program)
+        assert result.node_results[0] == 123
+
+
+class TestUnforcedMessages:
+    def test_buffered_without_receive(self):
+        machine = SimulatedHypercube(1, ipsc860())
+
+        def program(ctx):
+            if ctx.rank == 1:
+                yield ctx.send(0, payload="later", nbytes=8, tag=0, forced=False)
+                return None
+            yield ctx.delay(5000.0)
+            data = yield ctx.recv(1, tag=0)
+            return data
+
+        result = machine.run(program)
+        assert result.node_results[0] == "later"
+
+    def test_large_unforced_slower_than_forced(self):
+        def run(forced):
+            machine = SimulatedHypercube(1, ipsc860())
+
+            def program(ctx):
+                if ctx.rank == 1:
+                    yield ctx.send(0, payload=None, nbytes=400, tag=0, forced=forced)
+                else:
+                    data = yield ctx.recv(1, tag=0)
+
+            return machine.run(program).time
+
+        assert run(forced=False) > run(forced=True)
+
+
+class TestBarrier:
+    def test_barrier_cost(self):
+        params = ipsc860()
+        machine = SimulatedHypercube(3, params)
+
+        def program(ctx):
+            yield ctx.barrier()
+
+        result = machine.run(program)
+        assert result.time == pytest.approx(params.global_sync_time(3))
+        assert len(result.trace.barriers) == 1
+        assert result.trace.barriers[0].n_participants == 8
+
+    def test_barrier_waits_for_slowest(self):
+        params = ipsc860()
+        machine = SimulatedHypercube(2, params)
+
+        def program(ctx):
+            yield ctx.delay(float(ctx.rank) * 100.0)
+            yield ctx.barrier()
+
+        result = machine.run(program)
+        assert result.time == pytest.approx(300.0 + params.global_sync_time(2))
+
+    def test_multiple_barriers(self):
+        machine = SimulatedHypercube(2, ipsc860())
+
+        def program(ctx):
+            yield ctx.barrier()
+            yield ctx.barrier()
+
+        result = machine.run(program)
+        assert len(result.trace.barriers) == 2
+
+
+class TestShuffleAndPhases:
+    def test_shuffle_cost_and_record(self):
+        params = ipsc860()
+        machine = SimulatedHypercube(1, params)
+
+        def program(ctx):
+            yield ctx.shuffle(1000)
+
+        result = machine.run(program)
+        assert result.time == pytest.approx(540.0)
+        assert len(result.trace.shuffles) == 2  # one per node
+
+    def test_phase_marks_deduplicated(self):
+        machine = SimulatedHypercube(2, ipsc860())
+
+        def program(ctx):
+            yield ctx.mark_phase(0)
+            yield ctx.barrier()
+            yield ctx.mark_phase(1)
+
+        result = machine.run(program)
+        assert [p for p, _ in result.trace.phase_marks] == [0, 1]
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def run_once():
+            machine = SimulatedHypercube(3, ipsc860())
+
+            def program(ctx):
+                for offset in range(1, ctx.n):
+                    yield ctx.exchange(ctx.rank ^ offset, payload=None, nbytes=24, tag=offset)
+
+            result = machine.run(program)
+            return result.time, [
+                (t.src, t.dst, t.t_start, t.t_end) for t in result.trace.transmissions
+            ]
+
+        assert run_once() == run_once()

@@ -1,0 +1,120 @@
+"""Tests for link reservation, contention serialization, and timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypercube.topology import Hypercube, Link
+from repro.model.params import ipsc860
+from repro.sim.network import Network
+from repro.sim.trace import Trace
+
+
+@pytest.fixture()
+def net():
+    return Network(Hypercube(5), ipsc860(), Trace())
+
+
+class TestReservation:
+    def test_free_links_start_immediately(self, net):
+        grant = net.reserve(10.0, {Link(0, 1)}, 5.0)
+        assert grant.t_start == 10.0
+        assert grant.t_end == 15.0
+
+    def test_shared_link_serializes(self, net):
+        first = net.reserve(0.0, {Link(0, 1)}, 100.0)
+        second = net.reserve(0.0, {Link(0, 1)}, 100.0)
+        assert first.t_start == 0.0
+        assert second.t_start == 100.0
+        assert second.t_end == 200.0
+
+    def test_disjoint_links_concurrent(self, net):
+        a = net.reserve(0.0, {Link(0, 1)}, 100.0)
+        b = net.reserve(0.0, {Link(2, 3)}, 100.0)
+        assert a.t_start == b.t_start == 0.0
+
+    def test_start_bound_by_latest_link(self, net):
+        net.reserve(0.0, {Link(0, 1)}, 50.0)
+        net.reserve(0.0, {Link(1, 3)}, 80.0)
+        grant = net.reserve(0.0, {Link(0, 1), Link(1, 3)}, 10.0)
+        assert grant.t_start == 80.0
+
+
+class TestPaths:
+    def test_circuit_links_follow_ecube(self, net):
+        links = net.circuit_links(2, 23)
+        assert links == {Link(2, 3), Link(3, 7), Link(7, 23)}
+
+    def test_exchange_links_cover_both_directions(self, net):
+        links = net.exchange_links(0, 3)
+        assert Link(0, 1) in links and Link(1, 3) in links  # 0 -> 3
+        assert Link(3, 2) in links and Link(2, 0) in links  # 3 -> 0
+
+    def test_validates_nodes(self, net):
+        with pytest.raises(ValueError):
+            net.circuit_links(0, 99)
+
+
+class TestTiming:
+    def test_forced_message_duration(self, net):
+        # λ + τ m + δ h
+        assert net.message_duration(100, 2, forced=True) == pytest.approx(
+            95.0 + 39.4 + 20.6
+        )
+
+    def test_unforced_small_is_eager(self, net):
+        assert net.message_duration(100, 2, forced=False) == net.message_duration(
+            100, 2, forced=True
+        )
+
+    def test_unforced_large_pays_handshake(self, net):
+        base = net.message_duration(101, 2, forced=True)
+        rendezvous = net.message_duration(101, 2, forced=False)
+        assert rendezvous == pytest.approx(base + 2 * (82.5 + 2 * 10.3))
+
+    def test_exchange_duration_uses_effective_constants(self, net):
+        assert net.exchange_duration(40, 3) == pytest.approx(
+            177.5 + 0.394 * 40 + 20.6 * 3
+        )
+
+
+class TestTransfers:
+    def test_start_message_records_trace(self, net):
+        grant = net.start_message(5.0, 0, 3, 64, tag=9, forced=True)
+        (rec,) = net.trace.transmissions
+        assert (rec.src, rec.dst, rec.nbytes, rec.tag) == (0, 3, 64, 9)
+        assert rec.hops == 2
+        assert rec.t_start == grant.t_start
+        assert rec.kind == "forced"
+        assert rec.wait == 0.0
+
+    def test_start_exchange_records_both_directions(self, net):
+        net.start_exchange(0.0, 0, 7, 16, 16, tag=1)
+        records = net.trace.transmissions
+        assert len(records) == 2
+        assert {(r.src, r.dst) for r in records} == {(0, 7), (7, 0)}
+        assert all(r.kind == "exchange" for r in records)
+
+    def test_exchange_duration_driven_by_larger_payload(self, net):
+        grant = net.start_exchange(0.0, 0, 1, 10, 500, tag=0)
+        assert grant.t_end - grant.t_start == pytest.approx(net.exchange_duration(500, 1))
+
+    def test_port_serialization_for_messages(self, net):
+        """Two unsynchronized messages from the same node serialize even
+        on disjoint paths (§7.2 endpoint model)."""
+        a = net.start_message(0.0, 0, 1, 0, tag=0, forced=True)
+        b = net.start_message(0.0, 0, 2, 0, tag=0, forced=True)
+        assert b.t_start == a.t_end
+
+    def test_exchanges_bypass_ports(self, net):
+        """A synchronized exchange is not delayed by a port held
+        earlier, only by its links."""
+        net.start_message(0.0, 0, 1, 0, tag=0, forced=True)  # holds port 0
+        grant = net.start_exchange(0.0, 0, 2, 8, 8, tag=0)
+        assert grant.t_start == 0.0
+
+    def test_contention_wait_recorded(self, net):
+        net.start_message(0.0, 0, 1, 1000, tag=0, forced=True)
+        net.start_message(0.0, 2, 0, 10, tag=0, forced=True)  # port 0 busy
+        second = net.trace.transmissions[1]
+        assert second.wait > 0.0

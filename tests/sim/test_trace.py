@@ -1,0 +1,64 @@
+"""Tests for trace records and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.trace import BarrierRecord, ShuffleRecord, Trace, TransmissionRecord
+
+
+def rec(src=0, dst=1, nbytes=10, hops=1, t_req=0.0, t_start=0.0, t_end=5.0, kind="exchange"):
+    return TransmissionRecord(
+        src=src, dst=dst, nbytes=nbytes, hops=hops,
+        t_request=t_req, t_start=t_start, t_end=t_end, kind=kind,
+    )
+
+
+class TestRecords:
+    def test_wait_and_duration(self):
+        r = rec(t_req=1.0, t_start=3.0, t_end=8.0)
+        assert r.wait == 2.0
+        assert r.duration == 5.0
+
+
+class TestTraceStats:
+    def test_empty_trace(self):
+        trace = Trace()
+        assert trace.makespan == 0.0
+        assert trace.total_contention_wait == 0.0
+        assert trace.n_transmissions == 0
+        assert trace.per_phase_times() == []
+
+    def test_makespan_across_record_types(self):
+        trace = Trace()
+        trace.record_transmission(rec(t_end=10.0))
+        trace.record_barrier(BarrierRecord(t_first_arrival=0, t_release=25.0, n_participants=4))
+        trace.record_shuffle(ShuffleRecord(node=0, nbytes=8, t_start=20.0, t_end=22.0))
+        assert trace.makespan == 25.0
+
+    def test_aggregates(self):
+        trace = Trace()
+        trace.record_transmission(rec(src=0, nbytes=10, t_req=0, t_start=2, t_end=5))
+        trace.record_transmission(rec(src=0, nbytes=30, t_req=0, t_start=0, t_end=9))
+        trace.record_transmission(rec(src=1, nbytes=5, t_req=1, t_start=1, t_end=3))
+        assert trace.total_bytes == 45
+        assert trace.total_contention_wait == 2.0
+        assert trace.transmissions_per_node()[0] == 2
+        assert trace.transmissions_per_node()[1] == 1
+
+    def test_per_phase_times(self):
+        trace = Trace()
+        trace.mark_phase(0, 0.0)
+        trace.mark_phase(1, 100.0)
+        trace.record_transmission(rec(t_end=150.0))
+        phases = trace.per_phase_times()
+        assert phases == [(0, 0.0, 100.0), (1, 100.0, 150.0)]
+
+    def test_summary_keys(self):
+        trace = Trace()
+        trace.record_transmission(rec())
+        trace.record_drop(0, 1, 2, 3.0)
+        summary = trace.summary()
+        assert summary["n_transmissions"] == 1.0
+        assert summary["n_drops"] == 1.0
+        assert summary["makespan_us"] == pytest.approx(5.0)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["--machine", "cray", "demo"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "7"])
+
+
+class TestCommands:
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "comparisons agree" in out
+        assert "p(20)" in out
+
+    def test_figure(self, capsys):
+        assert main(["figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "hull of optimality" in out
+
+    def test_hull(self, capsys):
+        assert main(["hull", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "{2,2,2}" in out and "{6}" in out
+
+    def test_simulate_with_partition(self, capsys):
+        assert main(["simulate", "4", "24", "2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-verified" in out
+        assert "{2,2}" in out
+
+    def test_simulate_optimizer_default(self, capsys):
+        assert main(["simulate", "4", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "partition {" in out
+
+    def test_simulate_rejects_bad_partition(self):
+        with pytest.raises(ValueError):
+            main(["simulate", "4", "24", "3", "2"])
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "best partition" in out
+
+    def test_hypothetical_machine(self, capsys):
+        assert main(["--machine", "hypothetical", "hull", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "hypothetical" in out
+
+
+class TestSweepCommand:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--dims", "5", "--sizes", "8", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "d\\m(B)" in out
+        assert "{2,3}" in out
+
+
+class TestHullPersistence:
+    def test_save_and_load_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "d5.json")
+        assert main(["hull", "5", "--save", path]) == 0
+        first = capsys.readouterr().out
+        assert "stored optimizer table" in first
+        assert main(["hull", "5", "--load", path]) == 0
+        second = capsys.readouterr().out
+        assert "{2,3}" in second and "{5}" in second
+
+    def test_load_wrong_dimension_rejected(self, tmp_path, capsys):
+        path = str(tmp_path / "d5.json")
+        main(["hull", "5", "--save", path])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="d=5"):
+            main(["hull", "6", "--load", path])
+
+    def test_load_wrong_machine_rejected(self, tmp_path, capsys):
+        path = str(tmp_path / "d5.json")
+        main(["hull", "5", "--save", path])
+        capsys.readouterr()
+        with pytest.raises(ValueError, match="different constants"):
+            main(["--machine", "hypothetical", "hull", "5", "--load", path])

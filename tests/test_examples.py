@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; each must execute
+cleanly against the installed package and print its closing banner.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: (script, a phrase its successful run must print)
+EXAMPLES = [
+    ("quickstart.py", "regenerated on your machine"),
+    ("figure3_walkthrough.py", "final state verified"),
+    ("adi_transpose.py", "multiphase win region"),
+    ("spectral_poisson.py", "match numpy.fft exactly"),
+    ("tune_partitions.py", "hull of optimality"),
+    ("beyond_the_exchange.py", "not the lockstep total"),
+]
+
+
+def test_all_examples_are_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == {name for name, _ in EXAMPLES}
+
+
+@pytest.mark.parametrize("script,phrase", EXAMPLES)
+def test_example_runs(script, phrase):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert phrase in result.stdout, f"{script} did not print its closing banner"

@@ -1,0 +1,214 @@
+"""Unit and property tests for the bit-manipulation primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit,
+    bit_complement,
+    bit_field,
+    bit_reverse,
+    bits_of,
+    clear_bit,
+    flip_bit,
+    from_bits,
+    gray_code,
+    inverse_gray_code,
+    is_power_of_two,
+    log2_exact,
+    lowest_set_bit,
+    popcount,
+    rotate_bits_left,
+    rotate_bits_right,
+    set_bit,
+)
+
+nonneg = st.integers(min_value=0, max_value=(1 << 24) - 1)
+widths = st.integers(min_value=1, max_value=20)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        assert popcount(0) == 0
+        assert popcount(1) == 1
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 63) | 1) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(nonneg)
+    def test_matches_bin_count(self, x):
+        assert popcount(x) == bin(x).count("1")
+
+    @given(nonneg, nonneg)
+    def test_is_hamming_distance_compatible(self, a, b):
+        # popcount(a ^ b) is a metric: symmetry and identity
+        assert popcount(a ^ b) == popcount(b ^ a)
+        assert popcount(a ^ a) == 0
+
+
+class TestSingleBitOps:
+    def test_bit_extraction(self):
+        assert bit(0b100, 2) == 1
+        assert bit(0b100, 1) == 0
+
+    def test_set_clear_flip(self):
+        assert set_bit(0, 3) == 8
+        assert clear_bit(0b1111, 1) == 0b1101
+        assert flip_bit(0b1010, 0) == 0b1011
+        assert flip_bit(flip_bit(42, 5), 5) == 42
+
+    @given(nonneg, st.integers(min_value=0, max_value=23))
+    def test_flip_changes_exactly_one_bit(self, x, j):
+        assert popcount(x ^ flip_bit(x, j)) == 1
+
+
+class TestBitField:
+    def test_extraction(self):
+        assert bit_field(0b101101, 2, 3) == 0b011
+        assert bit_field(0b101101, 0, 6) == 0b101101
+        assert bit_field(0xFF, 4, 0) == 0
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bit_field(1, 0, -1)
+
+    @given(nonneg, st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=10))
+    def test_field_bounded(self, x, lo, width):
+        assert 0 <= bit_field(x, lo, width) < (1 << width) if width else bit_field(x, lo, width) == 0
+
+
+class TestBitsRoundtrip:
+    def test_examples(self):
+        assert bits_of(6, 4) == (0, 1, 1, 0)
+        assert from_bits((0, 1, 1, 0)) == 6
+
+    def test_from_bits_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            from_bits((0, 2, 1))
+
+    @given(nonneg)
+    def test_roundtrip(self, x):
+        width = max(x.bit_length(), 1)
+        assert from_bits(bits_of(x, width)) == x
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(6)
+        assert not is_power_of_two(-4)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(128) == 7
+
+    @pytest.mark.parametrize("bad", [0, 3, 12, -8])
+    def test_log2_exact_rejects(self, bad):
+        with pytest.raises(ValueError):
+            log2_exact(bad)
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_log2_inverts_shift(self, k):
+        assert log2_exact(1 << k) == k
+
+
+class TestLowestSetBit:
+    def test_examples(self):
+        assert lowest_set_bit(1) == 0
+        assert lowest_set_bit(0b1010100) == 2
+
+    def test_rejects_nonpositive(self):
+        for bad in (0, -2):
+            with pytest.raises(ValueError):
+                lowest_set_bit(bad)
+
+    @given(st.integers(min_value=1, max_value=(1 << 24) - 1))
+    def test_definition(self, x):
+        j = lowest_set_bit(x)
+        assert x & (1 << j)
+        assert x & ((1 << j) - 1) == 0
+
+
+class TestRotations:
+    def test_examples(self):
+        assert rotate_bits_left(0b0011, 1, 4) == 0b0110
+        assert rotate_bits_left(0b1001, 1, 4) == 0b0011
+        assert rotate_bits_right(0b0011, 1, 4) == 0b1001
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            rotate_bits_left(1, 1, 0)
+        with pytest.raises(ValueError):
+            rotate_bits_right(1, 1, -1)
+
+    @given(nonneg, st.integers(min_value=0, max_value=40), widths)
+    def test_left_right_inverse(self, x, k, width):
+        x &= (1 << width) - 1
+        assert rotate_bits_right(rotate_bits_left(x, k, width), k, width) == x
+
+    @given(nonneg, widths)
+    def test_full_rotation_is_identity(self, x, width):
+        x &= (1 << width) - 1
+        assert rotate_bits_left(x, width, width) == x
+
+    @given(nonneg, st.integers(min_value=0, max_value=10),
+           st.integers(min_value=0, max_value=10), widths)
+    def test_rotation_composes(self, x, a, b, width):
+        x &= (1 << width) - 1
+        assert rotate_bits_left(rotate_bits_left(x, a, width), b, width) == rotate_bits_left(
+            x, a + b, width
+        )
+
+    @given(nonneg, st.integers(min_value=0, max_value=40), widths)
+    def test_rotation_preserves_popcount(self, x, k, width):
+        x &= (1 << width) - 1
+        assert popcount(rotate_bits_left(x, k, width)) == popcount(x)
+
+
+class TestBitReverse:
+    def test_examples(self):
+        assert bit_reverse(0b0011, 4) == 0b1100
+        assert bit_reverse(0b1, 1) == 0b1
+        assert bit_reverse(0, 0) == 0
+
+    @given(nonneg, widths)
+    def test_involution(self, x, width):
+        x &= (1 << width) - 1
+        assert bit_reverse(bit_reverse(x, width), width) == x
+
+
+class TestGrayCode:
+    def test_examples(self):
+        assert [gray_code(i) for i in range(4)] == [0, 1, 3, 2]
+
+    @given(nonneg)
+    def test_roundtrip(self, x):
+        assert inverse_gray_code(gray_code(x)) == x
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 2))
+    def test_adjacent_codes_differ_by_one_bit(self, i):
+        assert popcount(gray_code(i) ^ gray_code(i + 1)) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+        with pytest.raises(ValueError):
+            inverse_gray_code(-1)
+
+
+class TestBitComplement:
+    @given(nonneg, widths)
+    def test_involution_and_range(self, x, width):
+        x &= (1 << width) - 1
+        c = bit_complement(x, width)
+        assert 0 <= c < (1 << width)
+        assert bit_complement(c, width) == x
+        assert popcount(c) == width - popcount(x)

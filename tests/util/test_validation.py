@@ -1,0 +1,103 @@
+"""Unit tests for argument validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.validation import (
+    MAX_DIMENSION,
+    check_block_size,
+    check_dimension,
+    check_node,
+    check_partition,
+)
+
+
+class TestCheckDimension:
+    def test_accepts_valid(self):
+        assert check_dimension(0) == 0
+        assert check_dimension(7) == 7
+        assert check_dimension(MAX_DIMENSION) == MAX_DIMENSION
+
+    def test_minimum(self):
+        assert check_dimension(1, minimum=1) == 1
+        with pytest.raises(ValueError):
+            check_dimension(0, minimum=1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_dimension(-1)
+
+    def test_rejects_oversized_dimension(self):
+        # catches the classic d-vs-n argument swap
+        with pytest.raises(ValueError, match="node count"):
+            check_dimension(64)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            check_dimension(3.0)
+        with pytest.raises(TypeError):
+            check_dimension(True)
+
+
+class TestCheckNode:
+    def test_accepts_range(self):
+        assert check_node(0, 3) == 0
+        assert check_node(7, 3) == 7
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_node(8, 3)
+        with pytest.raises(ValueError):
+            check_node(-1, 3)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            check_node(1.5, 3)
+        with pytest.raises(TypeError):
+            check_node(False, 3)
+
+
+class TestCheckBlockSize:
+    def test_accepts_numbers(self):
+        assert check_block_size(0) == 0.0
+        assert check_block_size(24) == 24.0
+        assert check_block_size(2.5) == 2.5
+
+    def test_zero_policy(self):
+        with pytest.raises(ValueError):
+            check_block_size(0, allow_zero=False)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_block_size(-1)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_block_size("24")
+        with pytest.raises(TypeError):
+            check_block_size(True)
+
+
+class TestCheckPartition:
+    def test_accepts_and_preserves_order(self):
+        assert check_partition((2, 1), 3) == (2, 1)
+        assert check_partition([1, 2], 3) == (1, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_partition((), 3)
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError, match="sums to"):
+            check_partition((2, 2), 3)
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(ValueError):
+            check_partition((3, 0), 3)
+        with pytest.raises(ValueError):
+            check_partition((4, -1), 3)
+
+    def test_rejects_non_int_parts(self):
+        with pytest.raises(TypeError):
+            check_partition((1.5, 1.5), 3)
