@@ -8,7 +8,13 @@ from repro.analysis.figures import (
     figure_data,
     render_figure,
 )
-from repro.analysis.hull import PAPER_HULLS, HullAgreement, hull_agreement, simulated_winner
+from repro.analysis.hull import (
+    PAPER_HULLS,
+    HullAgreement,
+    hull_agreement,
+    hull_agreements,
+    simulated_winner,
+)
 from repro.analysis.plotting import Series, ascii_plot
 from repro.analysis.report import Report, agreement_rows, full_report, hull_rows
 from repro.analysis.sweep import SweepCell, partition_sweep, render_sweep
@@ -42,6 +48,7 @@ __all__ = [
     "format_rows",
     "full_report",
     "hull_agreement",
+    "hull_agreements",
     "hull_rows",
     "parameter_table",
     "partition_table",

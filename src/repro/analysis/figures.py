@@ -7,7 +7,10 @@ predicted (model) and measured (simulated) values.
 
 The module produces the underlying data; rendering (ASCII) and the
 paper-vs-reproduced comparison live in :mod:`repro.analysis.plotting`
-and :mod:`repro.analysis.report`.
+and :mod:`repro.analysis.report`.  Predicted curves come from one
+vectorized grid evaluation per figure
+(:func:`repro.model.vectorized.multiphase_time_grid`), bitwise
+identical to the scalar model.
 """
 
 from __future__ import annotations
@@ -17,8 +20,8 @@ from typing import Sequence
 
 from repro.analysis.plotting import Series, ascii_plot
 from repro.comm.program import simulate_exchange
-from repro.model.cost import multiphase_time
 from repro.model.optimizer import hull_of_optimality
+from repro.model.vectorized import multiphase_time_grid
 from repro.model.params import MachineParams, ipsc860
 from repro.util.validation import check_dimension
 
@@ -151,13 +154,13 @@ def figure_data(
         sim_block_sizes = (0, 8, 24, 40, 80, 160, 240, 320, 400)
 
     grid = [spec.m_max * i / (prediction_points - 1) for i in range(prediction_points)]
+    predicted_grid = multiphase_time_grid(grid, spec.d, spec.partitions, p)
     curves: list[PartitionCurve] = []
-    for partition in spec.partitions:
-        predicted = [multiphase_time(m, spec.d, partition, p) for m in grid]
+    for row, partition in enumerate(spec.partitions):
         curve = PartitionCurve(
             partition=partition,
             block_sizes=list(grid),
-            predicted_us=predicted,
+            predicted_us=predicted_grid[row].tolist(),
         )
         if simulate:
             for m in sim_block_sizes:

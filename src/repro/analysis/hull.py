@@ -6,6 +6,11 @@ model-derived hull with the hulls the paper reports for dimensions
 5–7, and provides a simulated spot-check: at sampled block sizes the
 *simulated* winner must be the hull's partition (measured and
 predicted rankings agree).
+
+Hull construction rides the vectorized grid path of
+:mod:`repro.model.optimizer`; :func:`hull_agreements` gathers the
+agreements for the paper's figure dimensions in one call (the report's
+hull rows are built from it).
 """
 
 from __future__ import annotations
@@ -18,7 +23,13 @@ from repro.core.partitions import canonical
 from repro.model.optimizer import OptimizerTable, hull_of_optimality
 from repro.model.params import MachineParams, ipsc860
 
-__all__ = ["HullAgreement", "PAPER_HULLS", "hull_agreement", "simulated_winner"]
+__all__ = [
+    "HullAgreement",
+    "PAPER_HULLS",
+    "hull_agreement",
+    "hull_agreements",
+    "simulated_winner",
+]
 
 #: The hull members stated in the paper, smallest-block partition first.
 PAPER_HULLS: dict[int, tuple[tuple[int, ...], ...]] = {
@@ -75,6 +86,21 @@ def hull_agreement(d: int, params: MachineParams | None = None,
         paper_last_boundary=PAPER_LAST_BOUNDARY[d],
         reproduced_last_boundary=last_boundary,
     )
+
+
+def hull_agreements(
+    dims: Sequence[int] | None = None,
+    params: MachineParams | None = None,
+    *,
+    m_max: float = 400.0,
+) -> dict[int, HullAgreement]:
+    """Hull agreement for several dimensions at once (default: every
+    dimension the paper plots), keyed by ``d``.  Each dimension's hull
+    is one vectorized sweep; :func:`repro.analysis.report.hull_rows`
+    renders this mapping.
+    """
+    targets = tuple(dims) if dims is not None else tuple(sorted(PAPER_HULLS))
+    return {d: hull_agreement(d, params, m_max=m_max) for d in targets}
 
 
 def simulated_winner(

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.hull import hull_agreement
+from repro.analysis.hull import hull_agreements
 from repro.analysis.tables import (
     Row,
     figure6_headline,
@@ -53,8 +53,7 @@ def hull_rows(dims: tuple[int, ...] = (5, 6, 7),
               params: MachineParams | None = None) -> list[Row]:
     """Hull membership and switch-point rows for Figures 4-6."""
     rows: list[Row] = []
-    for d in dims:
-        agreement = hull_agreement(d, params)
+    for d, agreement in hull_agreements(dims, params).items():
         paper = " ".join("{" + ",".join(map(str, sorted(h))) + "}" for h in agreement.paper_hull)
         got = " ".join(
             "{" + ",".join(map(str, sorted(h))) + "}" for h in agreement.table.hull_partitions

@@ -20,6 +20,7 @@ from repro.core.partitions import partition_count
 from repro.model.cost import multiphase_time, phase_breakdown, standard_time
 from repro.model.crossover import crossover_block_size
 from repro.model.params import MachineParams, hypothetical, ipsc860
+from repro.model.vectorized import multiphase_time_grid
 
 __all__ = [
     "Row",
@@ -244,9 +245,8 @@ def figure6_headline(params: MachineParams | None = None) -> list[Row]:
     ("more than twice as fast")."""
     p = params if params is not None else ipsc860()
     d, m = 7, 40
-    t_se = multiphase_time(m, d, (1,) * 7, p) * 1e-6
-    t_ocs = multiphase_time(m, d, (7,), p) * 1e-6
-    t_34 = multiphase_time(m, d, (4, 3), p) * 1e-6
+    times = multiphase_time_grid([float(m)], d, ((1,) * 7, (7,), (4, 3)), p)
+    t_se, t_ocs, t_34 = (t * 1e-6 for t in times[:, 0].tolist())
     rows = [
         Row(
             experiment="Fig.6 caption",

@@ -13,7 +13,9 @@ Commands
     Run one verified exchange on the simulated machine and print its
     measured time, transmission count, and per-phase breakdown.
 ``sweep``
-    Optimal-partition guidance table across dimensions and block sizes.
+    Optimal-partition guidance table across dimensions and block
+    sizes; ``--batch`` (the default) scores each dimension in one
+    vectorized grid evaluation, ``--no-batch`` uses the scalar path.
 ``demo``
     A one-minute tour: three algorithms, optimizer, simulation.
 
@@ -79,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--dims", type=int, nargs="+", default=[4, 5, 6, 7])
     p_sweep.add_argument("--sizes", type=float, nargs="+",
                          default=[0.0, 8.0, 24.0, 40.0, 80.0, 160.0, 320.0])
+    p_sweep.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help="score each dimension's whole block-size row in one "
+        "vectorized grid evaluation (--no-batch: scalar reference path; "
+        "identical output)",
+    )
 
     p_sim = sub.add_parser("simulate", help="run one verified simulated exchange")
     p_sim.add_argument("d", type=int, help="cube dimension")
@@ -158,7 +166,7 @@ def cmd_sweep(args) -> int:
     from repro.analysis.sweep import partition_sweep, render_sweep
 
     params = _params(args.machine)
-    cells = partition_sweep(tuple(args.dims), tuple(args.sizes), params)
+    cells = partition_sweep(tuple(args.dims), tuple(args.sizes), params, batch=args.batch)
     print(f"optimal partitions on {params.name}:")
     print(render_sweep(cells))
     return 0

@@ -15,6 +15,7 @@ from repro.core.multiphase import (
 )
 from repro.core.optimal import optimal_exchange, optimal_partition, pairwise_partners
 from repro.core.partitions import (
+    cached_partitions,
     compositions,
     partition_count,
     partition_count_table,
@@ -66,6 +67,7 @@ __all__ = [
     "alltoall_reference",
     "apply_shuffle",
     "assert_exchange_correct",
+    "cached_partitions",
     "compositions",
     "effective_block_size",
     "exchange_defect",

@@ -27,6 +27,7 @@ from typing import Iterator, Sequence
 from repro.util.validation import check_partition
 
 __all__ = [
+    "cached_partitions",
     "canonical",
     "compositions",
     "partition_count",
@@ -88,6 +89,26 @@ def compositions(d: int) -> Iterator[tuple[int, ...]]:
     for first in range(1, d + 1):
         for rest in compositions(d - first):
             yield (first, *rest)
+
+
+@lru_cache(maxsize=None)
+def cached_partitions(
+    d: int, *, max_part: int | None = None
+) -> tuple[tuple[int, ...], ...]:
+    """Memoized candidate pool: all partitions of ``d`` as a tuple.
+
+    The optimizer and the batched sweeps enumerate the same pool for
+    every block size they evaluate; the paper notes the enumeration
+    "needs to be done only once", so cache it.  ``p(d)`` tuples for all
+    supported ``d`` total a few thousand objects — the cache is
+    unbounded on purpose.
+
+    >>> cached_partitions(4)
+    ((4,), (3, 1), (2, 2), (2, 1, 1), (1, 1, 1, 1))
+    >>> cached_partitions(4) is cached_partitions(4)
+    True
+    """
+    return tuple(partitions(d, max_part=max_part))
 
 
 def canonical(partition: Sequence[int], d: int | None = None) -> tuple[int, ...]:

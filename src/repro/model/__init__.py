@@ -18,6 +18,7 @@ from repro.model.optimizer import (
     OptimalChoice,
     OptimizerTable,
     best_partition,
+    best_partitions,
     evaluate_partitions,
     hull_of_optimality,
 )
@@ -30,6 +31,7 @@ from repro.model.sensitivity import (
     sync_overhead_study,
 )
 from repro.model.store import load_table, save_table
+from repro.model.vectorized import grid_winners, multiphase_time_grid, pack_partitions
 
 __all__ = [
     "HullShift",
@@ -45,14 +47,18 @@ __all__ = [
     "PRESETS",
     "PhaseCost",
     "best_partition",
+    "best_partitions",
     "crossover_block_size",
     "empirical_crossover",
     "evaluate_partitions",
+    "grid_winners",
     "hull_of_optimality",
     "hypothetical",
     "ipsc860",
     "multiphase_time",
+    "multiphase_time_grid",
     "optimal_time",
+    "pack_partitions",
     "phase_breakdown",
     "phase_cost",
     "standard_time",

@@ -10,7 +10,16 @@ partition owning each segment.
 
 Since the ordering of parts never changes the modelled cost (the tests
 assert this over all compositions), enumeration is over canonical
-decreasing partitions only.
+decreasing partitions only, served from the memoized pool in
+:func:`repro.core.partitions.cached_partitions`.
+
+Evaluation runs on the vectorized grid kernel of
+:mod:`repro.model.vectorized` by default: one numpy call scores the
+whole candidate pool at once (or a whole block-size batch, via
+:func:`best_partitions`).  The grid kernel is bitwise-identical to the
+scalar model, so every result — including hull switch points located
+by bisection — matches the pure-Python path exactly; ``method="scalar"``
+keeps that path available as a reference and benchmark baseline.
 """
 
 from __future__ import annotations
@@ -19,15 +28,17 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core.partitions import partitions
+from repro.core.partitions import cached_partitions
 from repro.model.cost import multiphase_time
 from repro.model.params import MachineParams
+from repro.model.vectorized import grid_winners, multiphase_time_grid
 from repro.util.validation import check_block_size, check_dimension
 
 __all__ = [
     "OptimalChoice",
     "OptimizerTable",
     "best_partition",
+    "best_partitions",
     "evaluate_partitions",
     "hull_of_optimality",
 ]
@@ -45,8 +56,40 @@ class OptimalChoice:
     def speedup_over(self, partition: Sequence[int]) -> float:
         """How much faster the winner is than ``partition`` (>= 1)."""
         lookup = dict(self.ranking)
-        other = lookup[tuple(sorted(partition, reverse=True))]
+        key = tuple(sorted(partition, reverse=True))
+        try:
+            other = lookup[key]
+        except KeyError:
+            available = ", ".join(str(p) for p in sorted(lookup))
+            raise ValueError(
+                f"partition {key} was not among the evaluated candidates; "
+                f"have: {available}"
+            ) from None
         return other / self.time if self.time > 0 else float("inf")
+
+
+def _candidate_pool(
+    d: int, candidates: Iterable[tuple[int, ...]] | None
+) -> tuple[tuple[int, ...], ...]:
+    return tuple(candidates) if candidates is not None else cached_partitions(d)
+
+
+def _sorted_ranking(
+    pool: Sequence[tuple[int, ...]], times: Sequence[float]
+) -> list[tuple[tuple[int, ...], float]]:
+    """The one place the ranking order is defined: ascending time,
+    ties broken by the smaller partition tuple (the same total order
+    :func:`repro.model.vectorized.grid_winners` implements)."""
+    scored = list(zip(pool, times))
+    scored.sort(key=lambda item: (item[1], item[0]))
+    return scored
+
+
+def _choice_from_ranking(
+    m: float, ranking: Sequence[tuple[tuple[int, ...], float]]
+) -> OptimalChoice:
+    winner, time = ranking[0]
+    return OptimalChoice(m=m, partition=winner, time=time, ranking=tuple(ranking))
 
 
 def evaluate_partitions(
@@ -55,17 +98,25 @@ def evaluate_partitions(
     params: MachineParams,
     *,
     candidates: Iterable[tuple[int, ...]] | None = None,
+    method: str = "grid",
 ) -> list[tuple[tuple[int, ...], float]]:
     """Model every candidate partition at block size ``m``.
 
     Returns ``(partition, predicted_time)`` pairs sorted by time.
+    ``method="grid"`` (default) scores the pool in one vectorized call;
+    ``method="scalar"`` is the one-pair-at-a-time reference path.  The
+    two are bitwise identical.
     """
     check_block_size(m)
     check_dimension(d, minimum=1)
-    pool = list(candidates) if candidates is not None else list(partitions(d))
-    scored = [(p, multiphase_time(m, d, p, params)) for p in pool]
-    scored.sort(key=lambda item: (item[1], item[0]))
-    return scored
+    pool = _candidate_pool(d, candidates)
+    if method == "grid":
+        times = multiphase_time_grid([float(m)], d, pool, params)[:, 0].tolist()
+    elif method == "scalar":
+        times = [multiphase_time(m, d, p, params) for p in pool]
+    else:
+        raise ValueError(f"unknown method {method!r}; use 'grid' or 'scalar'")
+    return _sorted_ranking(pool, times)
 
 
 def best_partition(
@@ -74,6 +125,7 @@ def best_partition(
     params: MachineParams,
     *,
     candidates: Iterable[tuple[int, ...]] | None = None,
+    method: str = "grid",
 ) -> OptimalChoice:
     """The model-optimal partition for block size ``m``.
 
@@ -81,9 +133,33 @@ def best_partition(
     >>> best_partition(40.0, 7, ipsc860()).partition
     (4, 3)
     """
-    ranking = evaluate_partitions(m, d, params, candidates=candidates)
-    winner, time = ranking[0]
-    return OptimalChoice(m=float(m), partition=winner, time=time, ranking=tuple(ranking))
+    ranking = evaluate_partitions(m, d, params, candidates=candidates, method=method)
+    return _choice_from_ranking(float(m), ranking)
+
+
+def best_partitions(
+    ms: Sequence[float],
+    d: int,
+    params: MachineParams,
+    *,
+    candidates: Iterable[tuple[int, ...]] | None = None,
+) -> list[OptimalChoice]:
+    """Batch variant of :func:`best_partition`: one
+    :class:`OptimalChoice` per entry of ``ms``, scored by a single grid
+    evaluation over the full block-size × partition matrix.
+
+    >>> from repro.model.params import ipsc860
+    >>> [c.partition for c in best_partitions([1.0, 40.0, 400.0], 7, ipsc860())]
+    [(3, 2, 2), (4, 3), (7,)]
+    """
+    check_dimension(d, minimum=1)
+    pool = _candidate_pool(d, candidates)
+    block_sizes = [check_block_size(m) for m in ms]
+    times = multiphase_time_grid(block_sizes, d, pool, params)
+    return [
+        _choice_from_ranking(m, _sorted_ranking(pool, times[:, col].tolist()))
+        for col, m in enumerate(block_sizes)
+    ]
 
 
 @dataclass(frozen=True)
@@ -124,29 +200,55 @@ def hull_of_optimality(
     m_max: float = 400.0,
     resolution: float = 0.25,
     candidates: Iterable[tuple[int, ...]] | None = None,
+    method: str = "grid",
 ) -> OptimizerTable:
     """Sweep block sizes and record where the optimal partition changes.
 
     ``resolution`` bounds the boundary-location error; segment switches
     are refined by bisection to ~1e-3 bytes.  The default 0–400 byte
     range matches the x-axis of Figures 4–6.
+
+    With ``method="grid"`` the whole sweep grid is scored by one
+    vectorized evaluation and only the boundary bisections fall back to
+    narrow (one block size, full pool) grid calls; ``method="scalar"``
+    re-models every partition at every step.  Identical tie-breaking
+    and bitwise-identical times make the two tables equal to the last
+    bit.
     """
     check_dimension(d, minimum=1)
-    pool = list(candidates) if candidates is not None else list(partitions(d))
+    pool = _candidate_pool(d, candidates)
 
-    def winner(m: float) -> tuple[int, ...]:
-        return min(pool, key=lambda p: (multiphase_time(m, d, p, params), p))
-
-    segments: list[tuple[int, ...]] = []
-    boundaries: list[float] = []
+    # the scalar path's sweep positions, replicated exactly (float
+    # accumulation included) so boundary bisections start from the
+    # same brackets
+    grid = [0.0]
     m = 0.0
-    current = winner(m)
-    segments.append(current)
     while m < m_max:
-        m_next = min(m + resolution, m_max)
-        nxt = winner(m_next)
+        m = min(m + resolution, m_max)
+        grid.append(m)
+
+    if method == "grid":
+        winners = grid_winners(multiphase_time_grid(grid, d, pool, params), pool)
+
+        def winner(mi: float) -> tuple[int, ...]:
+            return grid_winners(multiphase_time_grid([mi], d, pool, params), pool)[0]
+
+    elif method == "scalar":
+
+        def winner(mi: float) -> tuple[int, ...]:
+            return min(pool, key=lambda p: (multiphase_time(mi, d, p, params), p))
+
+        winners = [winner(mi) for mi in grid]
+    else:
+        raise ValueError(f"unknown method {method!r}; use 'grid' or 'scalar'")
+
+    segments: list[tuple[int, ...]] = [winners[0]]
+    boundaries: list[float] = []
+    current = winners[0]
+    for idx in range(1, len(grid)):
+        nxt = winners[idx]
         if nxt != current:
-            lo, hi = m, m_next
+            lo, hi = grid[idx - 1], grid[idx]
             while hi - lo > 1e-3:
                 mid = 0.5 * (lo + hi)
                 if winner(mid) == current:
@@ -156,7 +258,6 @@ def hull_of_optimality(
             boundaries.append(0.5 * (lo + hi))
             segments.append(nxt)
             current = nxt
-        m = m_next
     return OptimizerTable(
         d=d,
         params_name=params.name,

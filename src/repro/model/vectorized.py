@@ -1,0 +1,146 @@
+"""Vectorized (numpy) fast path for the eqs. (1)–(3) cost model.
+
+The paper's §6 enumeration — model every partition of ``d`` at every
+block size of interest, keep the lower envelope — is embarrassingly
+data-parallel, yet :func:`repro.model.cost.multiphase_time` evaluates
+one scalar ``(m, partition)`` pair per call.  This module evaluates the
+whole **block-size grid × candidate-partition matrix** in one shot
+with numpy broadcasting, which is what lets the optimizer, the sweeps,
+and the figure generators answer "which partition should a library
+call?" at production rates.
+
+Bit-for-bit agreement with the scalar path is a hard requirement (the
+figure and table text outputs must not move by even one ulp), so the
+kernel applies *exactly the same IEEE-754 operations in exactly the
+same order* as :func:`repro.model.cost.phase_cost` /
+:func:`repro.model.cost.multiphase_time`:
+
+* per phase: ``((transmission + distance) + shuffle) + global_sync``
+  with ``transmission = n_tx * (λ_x + τ·(m·2**(d-d_i)))``;
+* per partition: left-to-right accumulation over the phases, starting
+  from ``0.0`` (Python's ``sum``);
+* powers of two come from ``ldexp`` so the scale factors are exact.
+
+Padded phase slots (partitions shorter than the widest candidate)
+contribute an exact ``+0.0``, which is the identity on every finite
+float, so ragged partition lists cost nothing in precision.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.model.params import MachineParams
+from repro.util.validation import check_dimension, check_partition
+
+__all__ = [
+    "grid_winners",
+    "multiphase_time_grid",
+    "pack_partitions",
+]
+
+
+def pack_partitions(
+    partitions: Iterable[Sequence[int]], d: int
+) -> tuple[tuple[tuple[int, ...], ...], np.ndarray]:
+    """Validate candidates and pack them into a padded ``(P, K)`` int
+    matrix (``K`` = longest candidate; missing phases are ``0``).
+
+    Returns the validated pool (as tuples, original order preserved)
+    alongside the matrix, so callers can map row indices back to
+    partitions.
+    """
+    check_dimension(d, minimum=1)
+    pool = tuple(check_partition(p, d) for p in partitions)
+    width = max((len(p) for p in pool), default=1)
+    packed = np.zeros((len(pool), width), dtype=np.int64)
+    for row, parts in enumerate(pool):
+        packed[row, : len(parts)] = parts
+    return pool, packed
+
+
+def multiphase_time_grid(
+    ms: Sequence[float] | np.ndarray,
+    d: int,
+    partitions: Iterable[Sequence[int]],
+    params: MachineParams,
+) -> np.ndarray:
+    """Predicted multiphase-exchange time for every ``(partition, m)``
+    pair: a ``(len(partitions), len(ms))`` float64 array.
+
+    Equivalent to — and bitwise identical with — the scalar loop::
+
+        [[multiphase_time(m, d, p, params) for m in ms] for p in partitions]
+
+    but evaluated by broadcasting over the full grid, phase by phase.
+    The phase loop runs at most ``d`` times; everything inside it is a
+    whole-matrix numpy operation.
+
+    >>> from repro.model.params import hypothetical
+    >>> multiphase_time_grid([24.0], 6, [(1,) * 6, (2, 4)], hypothetical())
+    array([[15144.],
+           [ 9984.]])
+    """
+    pool, packed = pack_partitions(partitions, d)
+    m_arr = np.asarray(ms, dtype=np.float64)
+    if m_arr.ndim != 1:
+        raise ValueError(f"ms must be one-dimensional, got shape {m_arr.shape}")
+    if m_arr.size and (not np.all(np.isfinite(m_arr)) or np.any(m_arr < 0)):
+        bad = m_arr[~(np.isfinite(m_arr) & (m_arr >= 0))][0]
+        raise ValueError(f"block sizes must be finite and >= 0, got {bad}")
+
+    n_rows = len(pool)
+    if n_rows == 0:
+        return np.zeros((0, m_arr.shape[0]))
+
+    lam_x = params.exchange_latency
+    tau = params.byte_time
+    delta_x = params.exchange_hop_time
+    gsync = params.global_sync_time(d)
+    n_phases = (packed > 0).sum(axis=1)
+    #: ρ·(m·2**d), charged per phase only in multi-phase schedules
+    shuffle_row = params.permute_time * (m_arr * float(1 << d))
+
+    total = np.zeros((n_rows, m_arr.shape[0]))
+    for slot in range(packed.shape[1]):
+        di = packed[:, slot]
+        live = di > 0
+        # dead slots: n_tx = 0 and distance = 0, so the slot's
+        # transmission/distance vanish without masking
+        n_tx = np.left_shift(1, di) - 1
+        # int32 exponents: np.ldexp has no int64 loop where C long is
+        # 32-bit (e.g. Windows), and d <= 24 bounds them anyway.  Dead
+        # slots get scale 0.0, not 2**d: at astronomically large m the
+        # latter overflows to inf and 0*inf would poison the slot's
+        # exact-+0.0 contribution with NaN.
+        scale = np.where(live, np.ldexp(1.0, (d - di).astype(np.int32)), 0.0)
+        distance = delta_x * (di * np.left_shift(1, np.maximum(di - 1, 0)))
+        effective = m_arr[np.newaxis, :] * scale[:, np.newaxis]
+        phase = n_tx[:, np.newaxis] * (lam_x + tau * effective)
+        phase = phase + distance[:, np.newaxis]
+        phase = phase + np.where(
+            (live & (n_phases > 1))[:, np.newaxis], shuffle_row[np.newaxis, :], 0.0
+        )
+        phase = phase + np.where(live, gsync, 0.0)[:, np.newaxis]
+        total += phase
+    return total
+
+
+def grid_winners(
+    times: np.ndarray, pool: Sequence[tuple[int, ...]]
+) -> list[tuple[int, ...]]:
+    """Per-column winner of a ``(P, M)`` time grid, tie-broken by the
+    smaller partition tuple — the same total order as
+    ``min(pool, key=lambda p: (time(p), p))`` on the scalar path.
+    """
+    if times.shape[0] != len(pool):
+        raise ValueError(
+            f"time grid has {times.shape[0]} rows for {len(pool)} candidates"
+        )
+    order = sorted(range(len(pool)), key=lambda i: pool[i])
+    # argmin returns the first minimal row; rows sorted by partition
+    # tuple make "first" mean "smallest tuple among the tied"
+    best = times[order, :].argmin(axis=0)
+    return [pool[order[i]] for i in best]

@@ -29,8 +29,12 @@ class Request:
     """Base class for things a process can ``yield``.
 
     Subclasses implement :meth:`activate`, wiring themselves into the
-    engine/services; when the request completes, they call
-    ``process.resume(value)`` (possibly immediately).
+    engine/services.  A completion that happens synchronously (inside
+    ``activate`` or another event's callback) calls
+    ``process.resume(value)`` directly; a completion *scheduled for
+    later* must go through ``process.resume_callback(value)`` so that
+    a wait superseded in the meantime (see :meth:`Process.fail`) leaves
+    the stale event inert instead of resuming the wrong wait.
     """
 
     def activate(self, engine: "Engine", process: "Process") -> None:
@@ -46,7 +50,7 @@ class Delay(Request):
         self.duration = duration
 
     def activate(self, engine: "Engine", process: "Process") -> None:
-        engine.schedule(self.duration, lambda: process.resume(None))
+        engine.schedule(self.duration, process.resume_callback(None))
 
 
 class Process:
@@ -67,25 +71,41 @@ class Process:
         #: set when the process is waiting on a request (for deadlock
         #: diagnostics)
         self.waiting_on: Request | None = None
+        #: bumped on every advance; resume_callback captures it so a
+        #: callback for a superseded wait (e.g. after fail()) is inert
+        self._epoch = 0
+        #: live resume callbacks of the current wait; cancelled on
+        #: advance so superseded events neither fire nor advance the
+        #: clock (keeping run()'s makespan honest after a fail())
+        self._pending: list[Any] = []
 
     def start(self) -> None:
         """Schedule the first resumption at the current time."""
-        self.engine.schedule(0.0, lambda: self.resume(None))
+        self.engine.schedule(0.0, self.resume_callback(None))
 
-    def resume(self, value: Any) -> None:
-        """Advance the generator with ``value`` and activate its next
-        request."""
-        if self.finished:
-            raise SimulationError(f"process {self.name} resumed after completion")
+    def _advance(self, step: Callable[[], Request]) -> None:
+        """Drive the generator one step (send or throw) and wire up
+        whatever it does next: finish on StopIteration, else activate
+        the yielded request."""
+        previous_wait = self.waiting_on
         self.waiting_on = None
+        self._epoch += 1
+        for stale in self._pending:
+            stale.cancelled = True
+        self._pending.clear()
         try:
-            request = self.generator.send(value)
+            request = step()
         except StopIteration as stop:
             self.finished = True
             self.result = stop.value
             self.end_time = self.engine.now
             self.engine._process_finished(self)
             return
+        except BaseException:
+            # uncaught fail(): keep the request the process was blocked
+            # on so deadlock diagnostics name it, not NoneType
+            self.waiting_on = previous_wait
+            raise
         if not isinstance(request, Request):
             raise SimulationError(
                 f"process {self.name} yielded {type(request).__name__}; expected a Request"
@@ -93,9 +113,63 @@ class Process:
         self.waiting_on = request
         request.activate(self.engine, self)
 
+    def resume(self, value: Any) -> None:
+        """Advance the generator with ``value`` and activate its next
+        request."""
+        if self.finished:
+            raise SimulationError(f"process {self.name} resumed after completion")
+        self._advance(lambda: self.generator.send(value))
+
+    def wait_token(self) -> int:
+        """Identifier of the process's current wait.  Services that
+        park a process in a queue (rendezvous, blocked receive,
+        barrier) snapshot this at registration and later check
+        :meth:`wait_is_current` — a process that was failed (and
+        caught) while parked must not be resumed by the stale entry."""
+        return self._epoch
+
+    def wait_is_current(self, token: int) -> bool:
+        """Whether the wait identified by ``token`` is still the one
+        the process is blocked on (and the process is still alive)."""
+        return not self.finished and self._epoch == token
+
+    def resume_callback(self, value: Any, *, token: int | None = None) -> Callable[[], None]:
+        """A deferred :meth:`resume` for :meth:`Engine.schedule` that
+        only fires if the wait it belongs to is still current — a wait
+        superseded by :meth:`fail` leaves its already-scheduled
+        completion event in the heap, and that stale event must not
+        resume the process again.  ``token`` defaults to the current
+        wait; pass a stored :meth:`wait_token` when the callback is
+        created later than the wait it completes (e.g. at barrier
+        release).
+
+        The callback carries a ``cancelled`` flag the event loop
+        honours: when the wait ends (normally or via fail) its pending
+        callbacks are cancelled, so stale events are dropped from the
+        heap without firing or advancing virtual time."""
+        epoch = self._epoch if token is None else token
+
+        def _fire() -> None:
+            if self.wait_is_current(epoch):
+                self.resume(value)
+
+        _fire.cancelled = not self.wait_is_current(epoch)
+        if not _fire.cancelled:
+            self._pending.append(_fire)
+        return _fire
+
     def fail(self, exc: BaseException) -> None:
-        """Throw an exception into the generator (fatal conditions)."""
-        self.generator.throw(exc)
+        """Throw an exception into the generator (fatal conditions).
+
+        The generator may catch the exception and clean up: if it
+        returns, the process is marked finished like any normal
+        completion (result and end time recorded); if it yields a new
+        request, the process keeps running on that request.  Only an
+        exception that escapes the generator propagates to the caller.
+        """
+        if self.finished:
+            raise SimulationError(f"process {self.name} failed after completion")
+        self._advance(lambda: self.generator.throw(exc))
 
 
 class Engine:
@@ -144,9 +218,16 @@ class Engine:
         empty heap (deadlock) or the event cap is exceeded.
         """
         while self._heap:
-            time, _, callback = heapq.heappop(self._heap)
+            time, seq, callback = heapq.heappop(self._heap)
+            if getattr(callback, "cancelled", False):
+                continue  # superseded wait: neither fires nor advances time
             if until is not None and time > until:
-                self.now = until
+                # not yet due: put it back (same seq keeps tie order)
+                # so a later run() still sees it.  Never rewind the
+                # clock — an `until` in the past must not let later
+                # schedule() calls fire before already-dispatched events
+                heapq.heappush(self._heap, (time, seq, callback))
+                self.now = max(self.now, until)
                 return self.now
             self.now = time
             self._n_events += 1

@@ -85,11 +85,12 @@ class SimulatedHypercube:
         self.trace = Trace()
         self.network = Network(self.cube, params, self.trace)
         self.contexts = [NodeContext(self, rank) for rank in self.cube.nodes()]
-        # pairwise-exchange rendezvous: (a, b, tag) -> (request, process)
-        self._rendezvous: dict[tuple[int, int, int], tuple[ExchangeReq, Process]] = {}
+        # pairwise-exchange rendezvous: (a, b, tag) -> (request,
+        # process, wait token at registration)
+        self._rendezvous: dict[tuple[int, int, int], tuple[ExchangeReq, Process, int]] = {}
         # barrier bookkeeping
-        self._barrier_waiters: list[Process] = []
-        self._barrier_first_arrival: float = 0.0
+        # (process, wait token, arrival time) per barrier arrival
+        self._barrier_waiters: list[tuple[Process, int, float]] = []
         self._phase_marked: set[int] = set()
 
     # ------------------------------------------------------------------
@@ -122,7 +123,7 @@ class SimulatedHypercube:
             self._do_recv(request, process)
         elif isinstance(request, PostRecvReq):
             request.ctx.state.post(request.src, request.tag)
-            self.engine.schedule(0.0, lambda: process.resume(None))
+            self.engine.schedule(0.0, process.resume_callback(None))
         elif isinstance(request, BarrierReq):
             self._do_barrier(process)
         elif isinstance(request, ShuffleReq):
@@ -131,7 +132,7 @@ class SimulatedHypercube:
             if request.phase_index not in self._phase_marked:
                 self._phase_marked.add(request.phase_index)
                 self.trace.mark_phase(request.phase_index, self.engine.now)
-            self.engine.schedule(0.0, lambda: process.resume(None))
+            self.engine.schedule(0.0, process.resume_callback(None))
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown request type {type(request).__name__}")
 
@@ -141,10 +142,12 @@ class SimulatedHypercube:
         other = request.partner
         key = (min(me, other), max(me, other), request.tag)
         waiting = self._rendezvous.pop(key, None)
+        if waiting is not None and not waiting[1].wait_is_current(waiting[2]):
+            waiting = None  # the parked partner was failed; entry is stale
         if waiting is None:
-            self._rendezvous[key] = (request, process)
+            self._rendezvous[key] = (request, process, process.wait_token())
             return
-        other_req, other_proc = waiting
+        other_req, other_proc, other_token = waiting
         if other_req.ctx.rank != other or other_req.partner != me:
             raise SimulationError(
                 f"exchange mismatch: node {me} wants partner {other}, "
@@ -153,8 +156,10 @@ class SimulatedHypercube:
         grant = self.network.start_exchange(
             self.engine.now, me, other, request.nbytes, other_req.nbytes, request.tag
         )
-        self.engine.at(grant.t_end, lambda: process.resume(other_req.payload))
-        self.engine.at(grant.t_end, lambda: other_proc.resume(request.payload))
+        self.engine.at(grant.t_end, process.resume_callback(other_req.payload))
+        self.engine.at(
+            grant.t_end, other_proc.resume_callback(request.payload, token=other_token)
+        )
 
     def _do_send(self, request: SendReq, process: Process) -> None:
         src = request.ctx.rank
@@ -164,7 +169,7 @@ class SimulatedHypercube:
         )
         envelope = _Envelope(src, request.dst, request.tag, request.payload, request.nbytes)
         self.engine.at(grant.t_end, lambda: self._deliver(envelope, request.forced))
-        self.engine.at(grant.t_end, lambda: process.resume(None))
+        self.engine.at(grant.t_end, process.resume_callback(None))
 
     def _deliver(self, envelope: _Envelope, forced: bool) -> None:
         state = self.contexts[envelope.dst].state
@@ -190,16 +195,33 @@ class SimulatedHypercube:
 
     def _do_recv(self, request: RecvReq, process: Process) -> None:
         state = request.ctx.state
-        envelope = state.match_buffered(request.src, request.tag)
-        if envelope is not None:
-            self.engine.schedule(0.0, lambda: process.resume(envelope.payload))
+        if state.has_buffered(request.src, request.tag):
+            # pop at delivery time, not match time: if the wait is
+            # superseded (fail) before the zero-delay event fires, the
+            # message must stay buffered, not vanish
+            token = process.wait_token()
+
+            def deliver() -> None:
+                if not process.wait_is_current(token):
+                    return
+                envelope = state.match_buffered(request.src, request.tag)
+                if envelope is None:
+                    # another receiver on this node won the race for
+                    # the message: block like a recv that never matched
+                    state.blocked_recvs.append((request, process, token))
+                    return
+                process.resume(envelope.payload)
+
+            self.engine.schedule(0.0, deliver)
             return
-        state.blocked_recvs.append((request, process))
+        state.blocked_recvs.append((request, process, process.wait_token()))
 
     def _do_barrier(self, process: Process) -> None:
-        if not self._barrier_waiters:
-            self._barrier_first_arrival = self.engine.now
-        self._barrier_waiters.append(process)
+        # drop waiters that were failed while parked: they must count
+        # neither toward the release threshold nor as participants
+        live = [w for w in self._barrier_waiters if w[0].wait_is_current(w[1])]
+        live.append((process, process.wait_token(), self.engine.now))
+        self._barrier_waiters = live
         if len(self._barrier_waiters) < self.cube.n_nodes:
             return
         waiters = self._barrier_waiters
@@ -207,13 +229,13 @@ class SimulatedHypercube:
         release = self.engine.now + self.params.global_sync_time(self.cube.dimension)
         self.trace.record_barrier(
             BarrierRecord(
-                t_first_arrival=self._barrier_first_arrival,
+                t_first_arrival=min(arrived for _, _, arrived in waiters),
                 t_release=release,
                 n_participants=len(waiters),
             )
         )
-        for proc in waiters:
-            self.engine.at(release, lambda p=proc: p.resume(None))
+        for proc, token, _ in waiters:
+            self.engine.at(release, proc.resume_callback(None, token=token))
 
     def _do_shuffle(self, request: ShuffleReq, process: Process) -> None:
         duration = self.params.shuffle_time(request.nbytes)
@@ -226,4 +248,4 @@ class SimulatedHypercube:
                 t_end=start + duration,
             )
         )
-        self.engine.schedule(duration, lambda: process.resume(None))
+        self.engine.schedule(duration, process.resume_callback(None))

@@ -62,8 +62,10 @@ class NodeState:
         self.posted: deque[tuple[int | None, int]] = deque()
         #: system-buffered UNFORCED messages awaiting a receive
         self.buffered: deque[_Envelope] = deque()
-        #: blocked RecvReq requests awaiting a message
-        self.blocked_recvs: deque[tuple["RecvReq", Process]] = deque()
+        #: blocked RecvReq requests awaiting a message, with the
+        #: wait token snapshotted at registration (stale entries — the
+        #: process was failed or moved on — are discarded on match)
+        self.blocked_recvs: deque[tuple["RecvReq", Process, int]] = deque()
 
     def post(self, src: int | None, tag: int) -> None:
         self.posted.append((src, tag))
@@ -77,6 +79,14 @@ class NodeState:
                 return True
         return False
 
+    def has_buffered(self, src: int | None, tag: int) -> bool:
+        """Whether a matching buffered message exists (non-destructive;
+        the consumer pops with :meth:`match_buffered` when it actually
+        delivers, so an abandoned delivery leaves the message queued)."""
+        return any(
+            (src is None or env.src == src) and env.tag == tag for env in self.buffered
+        )
+
     def match_buffered(self, src: int | None, tag: int) -> _Envelope | None:
         for env in list(self.buffered):
             if (src is None or env.src == src) and env.tag == tag:
@@ -86,10 +96,12 @@ class NodeState:
 
     def match_blocked(self, src: int, tag: int) -> tuple["RecvReq", Process] | None:
         for item in list(self.blocked_recvs):
-            req, _ = item
+            req, proc, token = item
             if (req.src is None or req.src == src) and req.tag == tag:
                 self.blocked_recvs.remove(item)
-                return item
+                if not proc.wait_is_current(token):
+                    continue  # the waiter was failed while parked
+                return req, proc
         return None
 
 

@@ -45,3 +45,19 @@ class TestSimulatedWinner:
         """At 300 bytes the single-phase algorithm must win."""
         winner, _ = simulated_winner(5, 300, [(3, 2), (5,)], ipsc)
         assert winner == (5,)
+
+
+class TestHullAgreements:
+    def test_defaults_to_paper_dimensions(self, ipsc):
+        from repro.analysis.hull import hull_agreements
+
+        agreements = hull_agreements(params=ipsc)
+        assert sorted(agreements) == sorted(PAPER_HULLS)
+        assert all(a.hull_matches for a in agreements.values())
+
+    def test_matches_single_dim_calls(self, ipsc):
+        from repro.analysis.hull import hull_agreements
+
+        batch = hull_agreements((5, 6), ipsc)
+        assert batch[5] == hull_agreement(5, ipsc)
+        assert batch[6] == hull_agreement(6, ipsc)

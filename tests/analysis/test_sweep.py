@@ -35,6 +35,28 @@ class TestSweep:
         small = [c for c in cells if c.m == 8.0 and c.d >= 5]
         assert all(c.gain_over_classics > 1.2 for c in small)
 
+    def test_batch_and_scalar_paths_identical(self, cells, ipsc):
+        scalar = partition_sweep((4, 5, 6), (8.0, 40.0, 160.0), ipsc, batch=False)
+        assert scalar == cells
+
+    def test_classics_read_from_ranking(self, cells, ipsc):
+        """Regression: the SE/OCS reference times come from the ranking
+        best_partition already computed, not a re-evaluation — so they
+        must equal the ranking entries exactly."""
+        from repro.model.optimizer import best_partition
+
+        for cell in cells:
+            lookup = dict(best_partition(cell.m, cell.d, ipsc).ranking)
+            classic = min(lookup[(1,) * cell.d], lookup[(cell.d,)])
+            assert cell.gain_over_classics == classic / cell.time_us
+
+    def test_d1_degenerate_classics(self, ipsc):
+        """d == 1 has a single partition (1,) that is simultaneously SE
+        and OCS: the sweep must not crash and the gain is exactly 1."""
+        cells = partition_sweep((1,), (0.0, 8.0, 40.0), ipsc)
+        assert [c.partition for c in cells] == [(1,)] * 3
+        assert all(c.gain_over_classics == 1.0 for c in cells)
+
     def test_render(self, cells):
         text = render_sweep(cells)
         assert "d\\m(B)" in text

@@ -45,6 +45,28 @@ class TestBestPartition:
         assert choice.speedup_over((7,)) > 2.0
         assert choice.speedup_over((4, 3)) == pytest.approx(1.0)
 
+    def test_speedup_over_order_insensitive(self, ipsc):
+        choice = best_partition(40.0, 7, ipsc)
+        assert choice.speedup_over((3, 4)) == choice.speedup_over((4, 3))
+
+    def test_speedup_over_unknown_partition_raises_value_error(self, ipsc):
+        """Regression: a partition outside the evaluated pool used to
+        escape as a bare KeyError; it must be a ValueError naming the
+        partition and the available candidates."""
+        choice = best_partition(40.0, 7, ipsc, candidates=[(7,), (4, 3)])
+        with pytest.raises(ValueError, match=r"\(5, 2\).*not among.*\(4, 3\).*\(7,\)"):
+            choice.speedup_over((2, 5))
+
+    def test_scalar_method_identical(self, ipsc):
+        for m in (0.0, 7.5, 40.0, 400.0):
+            grid = best_partition(m, 7, ipsc)
+            scalar = best_partition(m, 7, ipsc, method="scalar")
+            assert grid == scalar
+
+    def test_unknown_method_rejected(self, ipsc):
+        with pytest.raises(ValueError, match="method"):
+            best_partition(40.0, 7, ipsc, method="turbo")
+
     @settings(deadline=None)
     @given(st.integers(min_value=1, max_value=7),
            st.floats(min_value=0.0, max_value=400.0))
@@ -95,6 +117,19 @@ class TestHull:
         table = hull_of_optimality(1, ipsc)
         assert table.hull_partitions == ((1,),)
         assert table.boundaries == ()
+
+    def test_grid_and_scalar_methods_bitwise_equal(self, ipsc, hypo):
+        """The vectorized hull must reproduce the scalar hull exactly —
+        same segments and bit-identical switch points."""
+        for params in (ipsc, hypo):
+            for d in (1, 2, 5, 6, 7):
+                grid = hull_of_optimality(d, params)
+                scalar = hull_of_optimality(d, params, method="scalar")
+                assert grid == scalar
+
+    def test_unknown_method_rejected(self, ipsc):
+        with pytest.raises(ValueError, match="method"):
+            hull_of_optimality(5, ipsc, method="turbo")
 
     def test_hypothetical_machine_se_wins_small(self, hypo):
         """On the §4.3 machine SE genuinely owns the small-block end

@@ -145,3 +145,460 @@ class TestProcesses:
             return log
 
         assert run_once() == run_once()
+
+
+
+
+class TestRunUntil:
+    def test_run_until_preserves_future_events(self):
+        """Regression: run(until=...) used to pop-and-drop the first
+        event past the deadline; it must stay queued for a later run."""
+        engine = Engine()
+        log = []
+        engine.schedule(5.0, lambda: log.append("later"))
+        assert engine.run(until=1.0) == 1.0
+        assert log == []
+        engine.run()
+        assert log == ["later"]
+
+    def test_run_until_keeps_tie_order(self):
+        engine = Engine()
+        log = []
+        for name in "abc":
+            engine.schedule(2.0, lambda n=name: log.append(n))
+        engine.run(until=1.0)
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+
+class TestFail:
+    """Process.fail: throwing a fatal condition into a coroutine."""
+
+    def test_uncaught_exception_propagates(self):
+        engine = Engine()
+
+        def proc():
+            yield Delay(1.0)
+
+        process = engine.spawn(proc(), name="victim")
+        engine.run(until=0.5)
+        with pytest.raises(SimulationError, match="boom"):
+            process.fail(SimulationError("boom"))
+        assert not process.finished
+
+    def test_catch_and_return_marks_finished(self):
+        """A generator that catches the injected exception and returns
+        must end up finished with its result and end time recorded —
+        not leak StopIteration out of the engine."""
+        engine = Engine()
+
+        def proc():
+            try:
+                yield Delay(10.0)
+            except SimulationError:
+                return "cleaned up"
+
+        process = engine.spawn(proc(), name="tidy")
+        engine.run(until=3.0)
+        process.fail(SimulationError("link down"))
+        assert process.finished
+        assert process.result == "cleaned up"
+        assert process.end_time == 3.0
+        # the superseded Delay's event is still queued but inert:
+        # draining the heap must not resume the finished process
+        engine.run()
+        assert process.result == "cleaned up"
+
+    def test_catch_and_return_notifies_engine(self):
+        finished = []
+
+        class Recording(Engine):
+            def _process_finished(self, process):
+                finished.append(process.name)
+
+        engine = Recording()
+
+        def proc():
+            try:
+                yield Delay(10.0)
+            except SimulationError:
+                return None
+
+        process = engine.spawn(proc(), name="observed")
+        engine.run(until=1.0)
+        process.fail(SimulationError("halt"))
+        assert finished == ["observed"]
+
+    def test_catch_and_continue_keeps_running(self):
+        """A generator that catches the exception and yields a new
+        request keeps running on that request — and the superseded
+        wait's scheduled completion must not resume it early."""
+        engine = Engine()
+
+        def proc():
+            try:
+                yield Delay(100.0)
+            except SimulationError:
+                yield Delay(2.0)
+            return "recovered"
+
+        process = engine.spawn(proc(), name="phoenix")
+        engine.run(until=1.0)
+        process.fail(SimulationError("retry"))
+        assert not process.finished
+        engine.run()
+        assert process.finished
+        assert process.result == "recovered"
+        # recovered at fail time (1.0) + 2.0, NOT at the stale 100.0
+        assert process.end_time == 3.0
+
+    def test_fail_scheduled_mid_run(self):
+        """fail() fired from inside the event loop: the stale Delay
+        completion later in the heap must not crash the run by
+        resuming the already-finished process."""
+        engine = Engine()
+
+        def proc():
+            try:
+                yield Delay(10.0)
+            except SimulationError:
+                return "cleaned"
+
+        process = engine.spawn(proc(), name="tidy")
+        engine.schedule(3.0, lambda: process.fail(SimulationError("halt")))
+        engine.run()
+        assert process.finished
+        assert process.result == "cleaned"
+        assert process.end_time == 3.0
+
+    def test_fail_after_completion_rejected(self):
+        engine = Engine()
+
+        def proc():
+            yield Delay(1.0)
+            return "ok"
+
+        process = engine.spawn(proc(), name="done")
+        engine.run()
+        assert process.finished
+        with pytest.raises(SimulationError, match="after completion"):
+            process.fail(SimulationError("too late"))
+
+    def test_fail_during_machine_request_wait(self):
+        """Regression: machine-request completions (shuffle, exchange,
+        ...) are scheduled through the epoch guard too, so failing a
+        process mid-shuffle must not let the stale completion resume
+        the finished process and crash the run."""
+        from repro.model.params import ipsc860
+        from repro.sim.machine import SimulatedHypercube
+
+        machine = SimulatedHypercube(1, ipsc860())
+
+        def program(ctx):
+            try:
+                yield ctx.shuffle(100_000)  # long permutation pass
+            except SimulationError:
+                return "aborted"
+            return "done"
+
+        processes = [
+            machine.engine.spawn(program(ctx), name=f"node{ctx.rank}")
+            for ctx in machine.contexts
+        ]
+        machine.engine.schedule(
+            1.0, lambda: processes[0].fail(SimulationError("injected"))
+        )
+        machine.engine.run()
+        assert processes[0].result == "aborted"
+        assert processes[0].end_time == 1.0
+        assert processes[1].result == "done"
+
+
+class TestFailInMachineQueues:
+    """fail() while parked in a machine wait registry: the stale
+    registry entry must neither crash the run nor resume the
+    process's next wait."""
+
+    def _machine(self):
+        from repro.model.params import ipsc860
+        from repro.sim.machine import SimulatedHypercube
+
+        return SimulatedHypercube(1, ipsc860())
+
+    def test_fail_while_blocked_on_recv(self):
+        """A failed-and-returned receiver leaves a stale blocked-recv
+        entry; the later delivery must fall through to buffering, not
+        resume the finished process."""
+        machine = self._machine()
+
+        def receiver(ctx):
+            try:
+                got = yield ctx.recv(1, tag=0)
+            except SimulationError:
+                return "aborted"
+            return got
+
+        def sender(ctx):
+            yield ctx.delay(5.0)
+            yield ctx.send(0, payload="hello", nbytes=4, tag=0, forced=False)
+            return "sent"
+
+        procs = [
+            machine.engine.spawn(receiver(machine.contexts[0]), name="recv0"),
+            machine.engine.spawn(sender(machine.contexts[1]), name="send1"),
+        ]
+        machine.engine.schedule(1.0, lambda: procs[0].fail(SimulationError("cut")))
+        machine.engine.run()
+        assert procs[0].result == "aborted"
+        assert procs[0].end_time == 1.0
+        assert procs[1].result == "sent"
+        # the message was buffered for nobody, not delivered to a ghost
+        assert len(machine.contexts[0].state.buffered) == 1
+
+    def test_fail_while_parked_in_rendezvous(self):
+        """A failed exchange waiter's rendezvous entry is stale: the
+        arriving partner must not pair with it (and must not resume
+        the failed process's NEW wait with the exchange payload)."""
+        machine = self._machine()
+
+        def victim(ctx):
+            try:
+                got = yield ctx.exchange(1, payload="p0", nbytes=4)
+            except SimulationError:
+                got = yield ctx.delay(50.0)  # new wait; must complete intact
+            return ("recovered", got)
+
+        def partner(ctx):
+            yield ctx.delay(2.0)
+            got = yield ctx.exchange(0, payload="p1", nbytes=4)
+            return got
+
+        procs = [
+            machine.engine.spawn(victim(machine.contexts[0]), name="victim"),
+            machine.engine.spawn(partner(machine.contexts[1]), name="partner"),
+        ]
+        machine.engine.schedule(1.0, lambda: procs[0].fail(SimulationError("cut")))
+        # the partner now waits for an exchange that can never complete
+        with pytest.raises(SimulationError, match="deadlock.*partner"):
+            machine.engine.run()
+        # ...but the victim recovered cleanly: its delay returned the
+        # delay's value, not the partner's payload, at the right time
+        assert procs[0].result == ("recovered", None)
+        assert procs[0].end_time == 51.0
+
+    def test_fail_while_waiting_at_barrier(self):
+        """A barrier waiter that fails and leaves no longer counts as
+        arrived: the barrier cannot complete (same semantics as a dead
+        rendezvous partner), and the survivor is reported as
+        deadlocked rather than released without full participation."""
+        machine = self._machine()
+
+        def victim(ctx):
+            try:
+                yield ctx.barrier()
+            except SimulationError:
+                yield ctx.delay(100.0)
+            return "recovered"
+
+        def late(ctx):
+            yield ctx.delay(2.0)
+            yield ctx.barrier()
+            return "released"
+
+        procs = [
+            machine.engine.spawn(victim(machine.contexts[0]), name="victim"),
+            machine.engine.spawn(late(machine.contexts[1]), name="late"),
+        ]
+        machine.engine.schedule(1.0, lambda: procs[0].fail(SimulationError("cut")))
+        with pytest.raises(SimulationError, match="deadlock.*late"):
+            machine.engine.run()
+        # the failed waiter itself recovered cleanly in the meantime
+        assert procs[0].result == "recovered"
+        assert procs[0].end_time == 101.0  # fail at 1.0 + its own 100us delay
+
+    def test_fail_at_barrier_then_reenter(self):
+        """A waiter that fails at a barrier, catches, and re-enters
+        must not be double-counted: the barrier still waits for the
+        other node."""
+        machine = self._machine()
+
+        def victim(ctx):
+            try:
+                yield ctx.barrier()
+            except SimulationError:
+                yield ctx.barrier()  # try again; stale entry must not count
+            return "victim done"
+
+        def late(ctx):
+            yield ctx.delay(500.0)
+            yield ctx.barrier()
+            return "late done"
+
+        procs = [
+            machine.engine.spawn(victim(machine.contexts[0]), name="victim"),
+            machine.engine.spawn(late(machine.contexts[1]), name="late"),
+        ]
+        machine.engine.schedule(1.0, lambda: procs[0].fail(SimulationError("cut")))
+        machine.engine.run()
+        assert procs[0].result == "victim done"
+        assert procs[1].result == "late done"
+        # release only after the late node really arrived (500 + 150/dim)
+        assert procs[0].end_time == 650.0
+        assert procs[1].end_time == 650.0
+        (record,) = machine.trace.barriers
+        assert record.n_participants == 2
+
+
+class TestStaleEventCancellation:
+    def test_stale_events_do_not_inflate_makespan(self):
+        """A superseded wait's scheduled completion is dropped from the
+        heap entirely: it must not advance virtual time, so run()'s
+        returned makespan reflects the real last finish."""
+        engine = Engine()
+
+        def proc():
+            try:
+                yield Delay(100.0)
+            except SimulationError:
+                yield Delay(2.0)
+            return "recovered"
+
+        process = engine.spawn(proc(), name="phoenix")
+        engine.schedule(1.0, lambda: process.fail(SimulationError("retry")))
+        final = engine.run()
+        assert process.end_time == 3.0
+        assert final == 3.0  # not 100.0, the abandoned wait's horizon
+
+    def test_machine_run_makespan_after_fail(self):
+        """RunResult.time through the machine layer is the real last
+        finish, not an abandoned wait's completion time."""
+        from repro.model.params import ipsc860
+        from repro.sim.machine import SimulatedHypercube
+
+        machine = SimulatedHypercube(1, ipsc860())
+
+        def program(ctx):
+            if ctx.rank == 0:
+                try:
+                    yield ctx.shuffle(1_000_000)  # would take 540000 us
+                except SimulationError:
+                    return "aborted"
+            else:
+                yield ctx.delay(5.0)
+            return "done"
+
+        procs = [
+            machine.engine.spawn(program(ctx), name=f"node{ctx.rank}")
+            for ctx in machine.contexts
+        ]
+        machine.engine.schedule(1.0, lambda: procs[0].fail(SimulationError("cut")))
+        final = machine.engine.run()
+        assert procs[0].result == "aborted"
+        assert final == 5.0
+
+
+class TestBufferedRecvFailWindow:
+    def test_fail_between_match_and_delivery_keeps_message(self):
+        """A buffered message matched by recv is popped at delivery
+        time: a fail() landing in the zero-delay window between match
+        and delivery must leave the message buffered, so a retried
+        recv still gets it."""
+        from repro.model.params import ipsc860
+        from repro.sim.machine import SimulatedHypercube
+
+        machine = SimulatedHypercube(1, ipsc860())
+
+        def receiver(ctx):
+            yield ctx.delay(200.0)
+            try:
+                got = yield ctx.recv(1, tag=0)
+            except SimulationError:
+                # retry: the matched-but-undelivered message must survive
+                got = yield ctx.recv(1, tag=0)
+                return ("retried", got)
+            return ("direct", got)
+
+        def sender(ctx):
+            yield ctx.send(0, payload="hello", nbytes=4, tag=0, forced=False)
+            return "sent"
+
+        procs = [
+            machine.engine.spawn(receiver(machine.contexts[0]), name="recv0"),
+            machine.engine.spawn(sender(machine.contexts[1]), name="send1"),
+        ]
+        # the nested schedule gives the fail a sequence number after
+        # the receiver's delay completion (so the recv has matched the
+        # buffered message) but before the zero-delay delivery — i.e.
+        # exactly inside the match-to-delivery window
+        machine.engine.schedule(
+            200.0,
+            lambda: machine.engine.schedule(
+                0.0, lambda: procs[0].fail(SimulationError("window"))
+            ),
+        )
+        machine.engine.run()
+        # the fail really landed inside the window: delivery went
+        # through the retry, and the message was not destroyed
+        assert procs[0].result == ("retried", "hello")
+        assert len(machine.contexts[0].state.buffered) == 0
+
+    def test_two_receivers_one_buffered_message(self):
+        """Two processes receiving on the same node with one buffered
+        message: the winner gets it, the loser blocks (and unblocks
+        when a second message arrives) — no crash."""
+        from repro.model.params import ipsc860
+        from repro.sim.machine import SimulatedHypercube
+
+        machine = SimulatedHypercube(1, ipsc860())
+
+        def receiver(ctx):
+            yield ctx.delay(200.0)
+            got = yield ctx.recv(1, tag=0)
+            return got
+
+        def sender(ctx):
+            yield ctx.send(0, payload="first", nbytes=4, tag=0, forced=False)
+            yield ctx.delay(500.0)
+            yield ctx.send(0, payload="second", nbytes=4, tag=0, forced=False)
+            return "sent"
+
+        procs = [
+            machine.engine.spawn(receiver(machine.contexts[0]), name="recvA"),
+            machine.engine.spawn(receiver(machine.contexts[0]), name="recvB"),
+            machine.engine.spawn(sender(machine.contexts[1]), name="send1"),
+        ]
+        machine.engine.run()
+        assert sorted([procs[0].result, procs[1].result]) == ["first", "second"]
+
+
+class TestClockMonotonicity:
+    def test_run_until_never_rewinds_the_clock(self):
+        """run(until=past) must not move virtual time backwards: later
+        schedule() calls would otherwise fire in the causal past of
+        events that already ran."""
+        engine = Engine()
+        engine.schedule(15.0, lambda: None)
+        engine.schedule(20.0, lambda: None)
+        assert engine.run(until=16.0) == 16.0
+        assert engine.run(until=12.0) == 16.0  # clamped, not rewound
+        assert engine.now == 16.0
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [17.0]
+
+    def test_uncaught_fail_preserves_deadlock_diagnostic(self):
+        """An uncaught fail() leaves the process dead but the deadlock
+        report must still name the request it was blocked on."""
+        engine = Engine()
+
+        def proc():
+            yield Delay(5.0)
+
+        engine.spawn(proc(), name="victim")
+        victim = engine.processes[0]
+        engine.run(until=1.0)
+        with pytest.raises(SimulationError, match="boom"):
+            victim.fail(SimulationError("boom"))
+        with pytest.raises(SimulationError, match="victim \\(waiting on Delay\\)"):
+            engine.run()

@@ -60,6 +60,7 @@ DOCTEST_MODULES = [
     "repro.model.cost",
     "repro.model.crossover",
     "repro.model.optimizer",
+    "repro.model.vectorized",
     "repro.sim.machine",
     "repro.comm.program",
     "repro.apps.transpose",
