@@ -36,6 +36,9 @@ Package map
     Figure/table reproduction and paper-vs-measured reports.
 :mod:`repro.apps`
     Transpose, 2-D FFT, table lookup, ADI solver.
+:mod:`repro.service`
+    Long-lived optimizer query service: sharded table registry,
+    batched query resolution, JSON-lines serving loop.
 """
 
 from repro.apps import (
@@ -72,6 +75,7 @@ from repro.model import (
     optimal_time,
     standard_time,
 )
+from repro.service import OptimizerRegistry, Query, QueryBatch, QueryResult
 from repro.sim import SimulatedHypercube
 
 __version__ = "1.0.0"
@@ -83,6 +87,10 @@ __all__ = [
     "ExchangeOutcome",
     "Hypercube",
     "MachineParams",
+    "OptimizerRegistry",
+    "Query",
+    "QueryBatch",
+    "QueryResult",
     "SimulatedHypercube",
     "__version__",
     "adi_step",

@@ -16,16 +16,29 @@ Commands
     Optimal-partition guidance table across dimensions and block
     sizes; ``--batch`` (the default) scores each dimension in one
     vectorized grid evaluation, ``--no-batch`` uses the scalar path.
+``shards DIR``
+    Precompute optimizer tables and write one shard file per machine
+    preset — the §6 "done only once" step, persisted for serving.
+``serve``
+    Long-lived JSON-lines query loop on stdin/stdout (one request per
+    line; see :mod:`repro.service.server` for the protocol).  With
+    ``--shards DIR`` tables come from the prebuilt directory
+    (dimensions missing from a shard are swept on demand).
+``query D M``
+    One-shot optimizer query through the same service path.
 ``demo``
     A one-minute tour: three algorithms, optimizer, simulation.
 
 ``hull`` accepts ``--save FILE`` / ``--load FILE`` for the §6 "store
-the optimal combination for repeated future use" workflow.
+the optimal combination for repeated future use" workflow.  ``hull``,
+``sweep``, and ``query`` accept ``--json`` for machine-readable
+output (the default text output is unchanged).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -35,6 +48,7 @@ from repro.comm.program import simulate_exchange
 from repro.model.cost import multiphase_time, phase_breakdown
 from repro.model.optimizer import best_partition, hull_of_optimality
 from repro.model.params import PRESETS
+from repro.service import DEFAULT_DIMS, OptimizerRegistry, serve
 
 __all__ = ["build_parser", "main"]
 
@@ -76,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_hull.add_argument("--m-max", type=float, default=400.0)
     p_hull.add_argument("--save", metavar="FILE", help="persist the table as JSON")
     p_hull.add_argument("--load", metavar="FILE", help="read a stored table instead of rebuilding")
+    p_hull.add_argument(
+        "--json", action="store_true",
+        help="print the table as JSON instead of the text listing",
+    )
 
     p_sweep = sub.add_parser("sweep", help="optimal-partition table over (d, m)")
     p_sweep.add_argument("--dims", type=int, nargs="+", default=[4, 5, 6, 7])
@@ -86,6 +104,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="score each dimension's whole block-size row in one "
         "vectorized grid evaluation (--no-batch: scalar reference path; "
         "identical output)",
+    )
+    p_sweep.add_argument(
+        "--json", action="store_true",
+        help="print the sweep cells as JSON instead of the text table",
+    )
+
+    p_shards = sub.add_parser(
+        "shards", help="precompute optimizer tables into a shard directory"
+    )
+    p_shards.add_argument("dir", help="directory to write <preset>.shard files into")
+    p_shards.add_argument(
+        "--dims", type=int, nargs="+", default=None,
+        help="cube dimensions to precompute (default: 2..8)",
+    )
+    p_shards.add_argument(
+        "--all-machines", action="store_true",
+        help="build shards for every preset, not just --machine",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="serve optimizer queries as JSON lines on stdin/stdout"
+    )
+    p_serve.add_argument(
+        "--shards", metavar="DIR",
+        help="serve from a prebuilt shard directory (see 'repro shards')",
+    )
+
+    p_query = sub.add_parser(
+        "query", help="one-shot optimizer query through the service path"
+    )
+    p_query.add_argument("d", type=int, help="cube dimension")
+    p_query.add_argument("m", type=float, help="block size in bytes")
+    p_query.add_argument(
+        "--shards", metavar="DIR",
+        help="answer from a prebuilt shard directory (see 'repro shards')",
+    )
+    p_query.add_argument(
+        "--json", action="store_true", help="print the answer as JSON"
     )
 
     p_sim = sub.add_parser("simulate", help="run one verified simulated exchange")
@@ -132,12 +188,51 @@ def cmd_hull(args) -> int:
         raise SystemExit(
             f"stored table is for d={table.d}, not the requested d={args.d}"
         )
-    print(f"hull of optimality, d={args.d}, {params.name}, 0-{args.m_max:.0f} B:")
+    # walk the raw segments (not the deduplicated hull) so stored
+    # tables with adjacent equal segments keep correct boundaries; the
+    # final segment is open-ended (hi None) until rendered per mode
+    ranges: list[dict] = []
     lo = 0.0
-    for idx, segment in enumerate(table.hull_partitions):
-        hi = table.boundaries[idx] if idx < len(table.boundaries) else args.m_max
-        print(f"  {_fmt(segment):14s} {lo:7.1f} .. {hi:7.1f} bytes")
-        lo = hi
+    for idx, segment in enumerate(table.segments):
+        hi = table.boundaries[idx] if idx < len(table.boundaries) else None
+        if ranges and ranges[-1]["partition"] == list(segment):
+            ranges[-1]["hi"] = hi
+        else:
+            ranges.append({"partition": list(segment), "lo": lo, "hi": hi})
+        if hi is not None:
+            lo = hi
+    if args.json:
+        # stored documents do not record the sweep bound, so a loaded
+        # table's coverage beyond its last switch point is unknown —
+        # emit null rather than fabricating a validity range
+        m_max = None if args.load else args.m_max
+        for entry in ranges:
+            if entry["hi"] is None:
+                entry["hi"] = m_max
+        print(json.dumps({
+            "d": args.d,
+            "machine": params.name,
+            "m_max": m_max,
+            "boundaries": list(table.boundaries),
+            "segments": [list(segment) for segment in table.segments],
+            "hull": [list(segment) for segment in table.hull_partitions],
+            "ranges": ranges,
+        }))
+        return 0
+    if args.load:
+        # stored documents do not record the sweep bound they were
+        # built with — show the exact switch points and leave the last
+        # segment open-ended rather than fabricate a validity cap (the
+        # JSON path emits null for the same reason)
+        print(f"hull of optimality, d={args.d}, {params.name}, stored table:")
+    else:
+        print(f"hull of optimality, d={args.d}, {params.name}, 0-{args.m_max:.0f} B:")
+    for entry in ranges:
+        if entry["hi"] is None and args.load:
+            print(f"  {_fmt(entry['partition']):14s} {entry['lo']:7.1f} .. {'?':>7s} bytes")
+            continue
+        hi = entry["hi"] if entry["hi"] is not None else args.m_max
+        print(f"  {_fmt(entry['partition']):14s} {entry['lo']:7.1f} .. {hi:7.1f} bytes")
     return 0
 
 
@@ -167,8 +262,100 @@ def cmd_sweep(args) -> int:
 
     params = _params(args.machine)
     cells = partition_sweep(tuple(args.dims), tuple(args.sizes), params, batch=args.batch)
+    if args.json:
+        print(json.dumps({
+            "machine": params.name,
+            "cells": [
+                {
+                    "d": cell.d,
+                    "m": cell.m,
+                    "partition": list(cell.partition),
+                    "time_us": cell.time_us,
+                    "gain_over_classics": cell.gain_over_classics,
+                }
+                for cell in cells
+            ],
+        }))
+        return 0
     print(f"optimal partitions on {params.name}:")
     print(render_sweep(cells))
+    return 0
+
+
+def _registry(shards: str | None):
+    if shards:
+        try:
+            return OptimizerRegistry.from_shards(shards)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    return OptimizerRegistry()
+
+
+def cmd_shards(args) -> int:
+    dims = tuple(args.dims) if args.dims else DEFAULT_DIMS
+    names = sorted(PRESETS) if args.all_machines else [args.machine]
+    registry = OptimizerRegistry()
+    written = registry.save_shards(args.dir, presets=names, dims=dims)
+    for path in written:
+        print(f"wrote {path} (dims {', '.join(map(str, dims))})")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    registry = _registry(args.shards)
+    default_preset: str | None = args.machine
+    if args.machine not in registry.preset_names:
+        # a shard directory need not include the CLI's default preset;
+        # serve anyway and require every request to name its own
+        default_preset = None
+        print(
+            f"note: preset {args.machine!r} is not served by this registry "
+            f"(have {list(registry.preset_names)}); requests must name a preset",
+            file=sys.stderr,
+        )
+    stats = serve(registry, sys.stdin, sys.stdout, default_preset=default_preset)
+    print(
+        f"served {stats.queries} queries: {stats.memo_hits} memo hits "
+        f"({stats.memo_hit_rate:.1%}), {stats.grid_calls} grid calls, "
+        f"{stats.tables_loaded} tables loaded, {stats.tables_built} built",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    registry = _registry(args.shards)
+    try:
+        result = registry.resolve([(args.machine, args.d, args.m)])[0]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps({
+            "preset": result.preset,
+            "d": result.d,
+            "m": result.m,
+            "partition": list(result.partition),
+            "time_us": result.time_us,
+            "source": result.source,
+        }))
+        return 0
+    params = registry.params(args.machine)
+    print(
+        f"optimal partition for d={args.d}, m={args.m:g} B on {params.name}: "
+        f"{_fmt(result.partition)}"
+    )
+    print(f"  predicted time: {result.time_us:.1f} us")
+    # a shard directory may lack the requested dimension or the block
+    # size may exceed its sweep bound — report what actually happened
+    if result.source == "pool":
+        served = "exact full-pool scoring (block size beyond the table's sweep bound)"
+    elif args.shards and registry.has_shard(args.machine, args.d):
+        served = "prebuilt shard directory"
+    elif args.shards:
+        served = "in-process sweep (dimension not in the shard directory)"
+    else:
+        served = "in-process table"
+    print(f"  served from: {served} ({result.source})")
     return 0
 
 
@@ -196,6 +383,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "hull": cmd_hull,
         "simulate": cmd_simulate,
         "sweep": cmd_sweep,
+        "shards": cmd_shards,
+        "serve": cmd_serve,
+        "query": cmd_query,
         "demo": cmd_demo,
     }[args.command]
     return handler(args)

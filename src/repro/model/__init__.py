@@ -13,7 +13,12 @@ from repro.model.cost import (
     standard_time,
     total_distance,
 )
-from repro.model.crossover import crossover_block_size, empirical_crossover, standard_wins
+from repro.model.crossover import (
+    crossover_block_size,
+    empirical_crossover,
+    empirical_crossovers,
+    standard_wins,
+)
 from repro.model.optimizer import (
     OptimalChoice,
     OptimizerTable,
@@ -30,7 +35,14 @@ from repro.model.sensitivity import (
     latency_sweep,
     sync_overhead_study,
 )
-from repro.model.store import load_table, save_table
+from repro.model.store import (
+    ShardFile,
+    load_shard,
+    load_table,
+    params_fingerprint,
+    save_shard,
+    save_table,
+)
 from repro.model.vectorized import grid_winners, multiphase_time_grid, pack_partitions
 
 __all__ = [
@@ -39,9 +51,13 @@ __all__ = [
     "free_permutation_study",
     "hull_under",
     "latency_sweep",
+    "load_shard",
     "load_table",
+    "params_fingerprint",
+    "save_shard",
     "save_table",
     "sync_overhead_study",
+    "ShardFile",
     "OptimalChoice",
     "OptimizerTable",
     "PRESETS",
@@ -50,6 +66,7 @@ __all__ = [
     "best_partitions",
     "crossover_block_size",
     "empirical_crossover",
+    "empirical_crossovers",
     "evaluate_partitions",
     "grid_winners",
     "hull_of_optimality",

@@ -10,15 +10,36 @@ Exchange beats the Optimal Circuit-Switched algorithm::
 For the hypothetical machine of §4.3 (τ = ρ = 1, λ = 200, δ = 20,
 d = 6) the threshold is just under 30 bytes, which the paper quotes as
 "blocks of size less than 30".
+
+Empirical crossovers on the *full* calibrated model (sync and shuffle
+overheads included) are located by bisection.  All model scoring runs
+through the vectorized kernel
+(:func:`repro.model.vectorized.multiphase_time_pairs`, the
+elementwise form of the grid kernel) by default:
+:func:`empirical_crossovers` drives any number of bisections in
+lockstep, scoring every active bracket's midpoint — two cells per
+bracket, exactly what the scalar path would touch — in one kernel
+call per iteration.  The kernel is bitwise-identical to the
+scalar model and the bracket updates replicate the scalar bisection
+exactly, so ``method="scalar"`` (the one-pair-at-a-time reference
+path) returns the same floats to the last bit.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.model.cost import multiphase_time, optimal_time, standard_time
 from repro.model.params import MachineParams
+from repro.model.vectorized import multiphase_time_pairs
 from repro.util.validation import check_dimension
 
-__all__ = ["crossover_block_size", "empirical_crossover", "standard_wins"]
+__all__ = [
+    "crossover_block_size",
+    "empirical_crossover",
+    "empirical_crossovers",
+    "standard_wins",
+]
 
 
 def crossover_block_size(d: int, params: MachineParams) -> float:
@@ -49,25 +70,21 @@ def standard_wins(m: float, d: int, params: MachineParams) -> bool:
     return standard_time(m, d, params) < optimal_time(m, d, params)
 
 
-def empirical_crossover(
-    d: int,
-    params: MachineParams,
-    *,
-    partition_a: tuple[int, ...] | None = None,
-    partition_b: tuple[int, ...] | None = None,
-    m_max: float = 4096.0,
-    tol: float = 1e-6,
-) -> float | None:
-    """Crossover block size between two partitions by bisection on the
-    *full* calibrated model (including sync and shuffle overheads).
+def _normalized_pairs(
+    pairs: Sequence[tuple[Sequence[int], Sequence[int]]],
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    return [(tuple(pa), tuple(pb)) for pa, pb in pairs]
 
-    Defaults compare SE (``(1,)*d``) against OCS (``(d,)``).  Returns
-    the block size where the two predicted times are equal, or ``None``
-    if the sign never changes on ``[0, m_max]``.
-    """
-    check_dimension(d, minimum=1)
-    pa = partition_a if partition_a is not None else (1,) * d
-    pb = partition_b if partition_b is not None else (d,)
+
+def _bisect_scalar(
+    d: int,
+    pa: tuple[int, ...],
+    pb: tuple[int, ...],
+    params: MachineParams,
+    m_max: float,
+    tol: float,
+) -> float | None:
+    """The reference one-pair bisection on scalar model calls."""
 
     def diff(m: float) -> float:
         return multiphase_time(m, d, pa, params) - multiphase_time(m, d, pb, params)
@@ -90,3 +107,135 @@ def empirical_crossover(
         else:
             lo, flo = mid, fmid
     return 0.5 * (lo + hi)
+
+
+def _bisect_grid(
+    d: int,
+    pairs: list[tuple[tuple[int, ...], tuple[int, ...]]],
+    params: MachineParams,
+    m_max: float,
+    tol: float,
+) -> list[float | None]:
+    """Lockstep bisection for every pair at once.
+
+    Each iteration scores all active midpoints with one
+    :func:`multiphase_time_pairs` call — exactly the two cells per
+    still-open bracket the scalar path would evaluate, in a single
+    kernel invocation rather than a cross product or a call per pair;
+    the per-pair bracket updates mirror :func:`_bisect_scalar`
+    operation for operation, so the returned floats are bitwise
+    identical to the scalar path's.
+    """
+
+    def diffs_at(ms_by_pair: dict[int, float]) -> dict[int, float]:
+        order = sorted(ms_by_pair)
+        ms: list[float] = []
+        candidates: list[tuple[int, ...]] = []
+        for i in order:
+            ms.extend((ms_by_pair[i], ms_by_pair[i]))
+            candidates.extend(pairs[i])
+        times = multiphase_time_pairs(ms, d, candidates, params)
+        return {
+            i: float(times[2 * k] - times[2 * k + 1]) for k, i in enumerate(order)
+        }
+
+    n = len(pairs)
+    results: list[float | None] = [None] * n
+    lo = [0.0] * n
+    hi = [float(m_max)] * n
+    flo = [0.0] * n
+
+    ends_lo = diffs_at({i: 0.0 for i in range(n)})
+    ends_hi = diffs_at({i: hi[i] for i in range(n)})
+    active: list[int] = []
+    for i in range(n):
+        f0, f1 = ends_lo[i], ends_hi[i]
+        if f0 == 0.0 and f1 == 0.0:
+            results[i] = None  # identical cost curves
+        elif f0 == 0.0:
+            results[i] = lo[i]
+        elif f0 * f1 > 0:
+            results[i] = None
+        else:
+            flo[i] = f0
+            active.append(i)
+
+    while active:
+        converged = [i for i in active if hi[i] - lo[i] <= tol]
+        for i in converged:
+            results[i] = 0.5 * (lo[i] + hi[i])
+        active = [i for i in active if hi[i] - lo[i] > tol]
+        if not active:
+            break
+        mids = {i: 0.5 * (lo[i] + hi[i]) for i in active}
+        fmids = diffs_at(mids)
+        still: list[int] = []
+        for i in active:
+            fmid = fmids[i]
+            if fmid == 0.0:
+                results[i] = mids[i]
+                continue
+            if flo[i] * fmid < 0:
+                hi[i] = mids[i]
+            else:
+                lo[i], flo[i] = mids[i], fmid
+            still.append(i)
+        active = still
+    return results
+
+
+def empirical_crossovers(
+    d: int,
+    params: MachineParams,
+    pairs: Sequence[tuple[Sequence[int], Sequence[int]]],
+    *,
+    m_max: float = 4096.0,
+    tol: float = 1e-6,
+    method: str = "grid",
+) -> list[float | None]:
+    """Crossover block sizes for many partition pairs at once.
+
+    Entry ``i`` is where ``pairs[i]``'s two cost curves meet on the
+    full calibrated model, or ``None`` if the sign never changes on
+    ``[0, m_max]``.  ``method="grid"`` (default) runs every bisection
+    in lockstep, one elementwise grid-kernel call per iteration
+    covering all still-open brackets; ``method="scalar"`` runs the
+    reference per-pair loop.  Both return bitwise-identical floats.
+    """
+    check_dimension(d, minimum=1)
+    normalized = _normalized_pairs(pairs)
+    if method == "grid":
+        if not normalized:
+            return []
+        return _bisect_grid(d, normalized, params, float(m_max), tol)
+    if method == "scalar":
+        return [
+            _bisect_scalar(d, pa, pb, params, float(m_max), tol)
+            for pa, pb in normalized
+        ]
+    raise ValueError(f"unknown method {method!r}; use 'grid' or 'scalar'")
+
+
+def empirical_crossover(
+    d: int,
+    params: MachineParams,
+    *,
+    partition_a: tuple[int, ...] | None = None,
+    partition_b: tuple[int, ...] | None = None,
+    m_max: float = 4096.0,
+    tol: float = 1e-6,
+    method: str = "grid",
+) -> float | None:
+    """Crossover block size between two partitions by bisection on the
+    *full* calibrated model (including sync and shuffle overheads).
+
+    Defaults compare SE (``(1,)*d``) against OCS (``(d,)``).  Returns
+    the block size where the two predicted times are equal, or ``None``
+    if the sign never changes on ``[0, m_max]``.
+    """
+    check_dimension(d, minimum=1)
+    pa = partition_a if partition_a is not None else (1,) * d
+    pb = partition_b if partition_b is not None else (d,)
+    return empirical_crossovers(
+        d, params, [(pa, pb)], m_max=m_max, tol=tol, method=method
+    )[0]

@@ -181,6 +181,10 @@ class OptimizerTable:
     def lookup(self, m: float) -> tuple[int, ...]:
         """The stored optimal partition for block size ``m``."""
         check_block_size(m)
+        if not self.segments:
+            raise ValueError(
+                f"optimizer table for d={self.d} is empty; rebuild it before lookup"
+            )
         return self.segments[bisect_right(self.boundaries, m)]
 
     @property

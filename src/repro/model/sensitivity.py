@@ -10,18 +10,24 @@ turns them into reproducible studies:
   and per-phase global sync are what push the all-ones partition off
   the iPSC-860 hull; removing them restores the §4.3 picture where
   Standard Exchange owns the smallest blocks;
-* **latency sweep**: the SE/OCS crossover of §4.3 grows with λ — the
-  startup cost is the whole reason multiphase exists.
+* **latency sweep**: the SE/OCS crossover grows with λ — the startup
+  cost is the whole reason multiphase exists.  The sweep locates each
+  crossover on the *full* calibrated model (sync and shuffle overheads
+  included) by bisection, not the overhead-free §4.3 closed form.
 
-Each study returns plain data structures the ablation benchmark
-renders and asserts on.
+Every study scores the model through the vectorized grid kernel by
+default (``method="grid"``); ``method="scalar"`` keeps the per-point
+reference path, which returns bitwise-identical results — the
+exact-agreement property tests assert this across presets and
+dimensions.  Each study returns plain data structures the ablation
+benchmark renders and asserts on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.model.crossover import crossover_block_size
+from repro.model.crossover import empirical_crossover
 from repro.model.optimizer import hull_of_optimality
 from repro.model.params import MachineParams, ipsc860
 
@@ -55,9 +61,16 @@ class HullShift:
         return float("inf")
 
 
-def hull_under(label: str, params: MachineParams, d: int, *, m_max: float = 400.0) -> HullShift:
+def hull_under(
+    label: str,
+    params: MachineParams,
+    d: int,
+    *,
+    m_max: float = 400.0,
+    method: str = "grid",
+) -> HullShift:
     """Hull of optimality for an arbitrary parameter variation."""
-    table = hull_of_optimality(d, params, m_max=m_max)
+    table = hull_of_optimality(d, params, m_max=m_max, method=method)
     return HullShift(
         label=label,
         params=params,
@@ -66,53 +79,78 @@ def hull_under(label: str, params: MachineParams, d: int, *, m_max: float = 400.
     )
 
 
-def free_permutation_study(d: int, *, m_max: float = 400.0) -> tuple[HullShift, HullShift]:
+def free_permutation_study(
+    d: int,
+    *,
+    m_max: float = 400.0,
+    base: MachineParams | None = None,
+    method: str = "grid",
+) -> tuple[HullShift, HullShift]:
     """Baseline vs ρ = 0 hulls (the §7.4 robustness claim).
 
     With free shuffles every multiphase overhead except volume
     disappears, so multiphase partitions must still populate the
     small-block end — and their win region can only grow.
     """
-    base = ipsc860()
-    free = base.with_overrides(permute_time=0.0, name="iPSC-860 (rho=0)")
+    baseline = base if base is not None else ipsc860()
+    free = baseline.with_overrides(permute_time=0.0, name=f"{baseline.name} (rho=0)")
     return (
-        hull_under("measured rho", base, d, m_max=m_max),
-        hull_under("rho = 0", free, d, m_max=m_max),
+        hull_under("measured rho", baseline, d, m_max=m_max, method=method),
+        hull_under("rho = 0", free, d, m_max=m_max, method=method),
     )
 
 
-def sync_overhead_study(d: int, *, m_max: float = 400.0) -> tuple[HullShift, HullShift]:
+def sync_overhead_study(
+    d: int,
+    *,
+    m_max: float = 400.0,
+    base: MachineParams | None = None,
+    method: str = "grid",
+) -> tuple[HullShift, HullShift]:
     """Baseline vs no-synchronization hulls.
 
     Dropping the pairwise handshake (λ₀, 2δ) and the per-phase global
     sync reproduces the §4.3 regime where the all-ones partition
     (Standard Exchange) owns the smallest block sizes.
     """
-    base = ipsc860()
-    nosync = base.with_overrides(
+    baseline = base if base is not None else ipsc860()
+    nosync = baseline.with_overrides(
         pairwise_sync=False,
         sync_latency=0.0,
         global_sync_per_dim=0.0,
-        name="iPSC-860 (no sync overheads)",
+        name=f"{baseline.name} (no sync overheads)",
     )
     return (
-        hull_under("with sync overheads", base, d, m_max=m_max),
-        hull_under("without sync overheads", nosync, d, m_max=m_max),
+        hull_under("with sync overheads", baseline, d, m_max=m_max, method=method),
+        hull_under("without sync overheads", nosync, d, m_max=m_max, method=method),
     )
 
 
 def latency_sweep(
-    d: int, latencies: tuple[float, ...] = (10.0, 50.0, 95.0, 200.0, 400.0)
+    d: int,
+    latencies: tuple[float, ...] = (10.0, 50.0, 95.0, 200.0, 400.0),
+    *,
+    base: MachineParams | None = None,
+    method: str = "grid",
 ) -> list[tuple[float, float]]:
     """SE/OCS crossover block size as a function of startup latency λ.
 
-    Returns ``(λ, crossover_bytes)`` pairs; the crossover must grow
+    Returns ``(λ, crossover_bytes)`` pairs located by bisection on the
+    full calibrated model (each bisection scores both partitions
+    through one grid-kernel call per step); the crossover must grow
     monotonically with λ (more startup pain favours the d-transmission
-    algorithm for longer).
+    algorithm for longer).  The overhead-free closed form of §4.3
+    remains available as
+    :func:`repro.model.crossover.crossover_block_size`.
     """
-    base = ipsc860()
+    baseline = base if base is not None else ipsc860()
     out = []
     for lam in latencies:
-        params = base.with_overrides(latency=lam)
-        out.append((lam, crossover_block_size(d, params)))
+        params = baseline.with_overrides(latency=lam)
+        cross = empirical_crossover(d, params, method=method)
+        if cross is None:
+            raise ValueError(
+                f"no SE/OCS crossover for λ={lam} within the bisection range"
+            )
+        out.append((lam, cross))
     return out

@@ -38,6 +38,7 @@ from repro.util.validation import check_dimension, check_partition
 __all__ = [
     "grid_winners",
     "multiphase_time_grid",
+    "multiphase_time_pairs",
     "pack_partitions",
 ]
 
@@ -124,6 +125,63 @@ def multiphase_time_grid(
             (live & (n_phases > 1))[:, np.newaxis], shuffle_row[np.newaxis, :], 0.0
         )
         phase = phase + np.where(live, gsync, 0.0)[:, np.newaxis]
+        total += phase
+    return total
+
+
+def multiphase_time_pairs(
+    ms: Sequence[float] | np.ndarray,
+    d: int,
+    partitions: Iterable[Sequence[int]],
+    params: MachineParams,
+) -> np.ndarray:
+    """Predicted time for each ``(ms[i], partitions[i])`` pairing: a
+    ``(len(ms),)`` float64 vector.
+
+    The elementwise form of :func:`multiphase_time_grid` — the same
+    IEEE-754 operations in the same order, applied along one axis
+    instead of broadcasting the cross product — so it is bitwise
+    identical to::
+
+        [multiphase_time(m, d, p, params) for m, p in zip(ms, partitions)]
+
+    Use it when each block size pairs with its own candidate (the
+    lockstep crossover bisections), where the grid's cross product
+    would evaluate cells nobody reads.
+    """
+    pool, packed = pack_partitions(partitions, d)
+    m_arr = np.asarray(ms, dtype=np.float64)
+    if m_arr.ndim != 1:
+        raise ValueError(f"ms must be one-dimensional, got shape {m_arr.shape}")
+    if m_arr.shape[0] != len(pool):
+        raise ValueError(
+            f"{m_arr.shape[0]} block sizes paired with {len(pool)} partitions"
+        )
+    if m_arr.size and (not np.all(np.isfinite(m_arr)) or np.any(m_arr < 0)):
+        bad = m_arr[~(np.isfinite(m_arr) & (m_arr >= 0))][0]
+        raise ValueError(f"block sizes must be finite and >= 0, got {bad}")
+    if len(pool) == 0:
+        return np.zeros(0)
+
+    lam_x = params.exchange_latency
+    tau = params.byte_time
+    delta_x = params.exchange_hop_time
+    gsync = params.global_sync_time(d)
+    n_phases = (packed > 0).sum(axis=1)
+    shuffle = params.permute_time * (m_arr * float(1 << d))
+
+    total = np.zeros(m_arr.shape[0])
+    for slot in range(packed.shape[1]):
+        di = packed[:, slot]
+        live = di > 0
+        n_tx = np.left_shift(1, di) - 1
+        scale = np.where(live, np.ldexp(1.0, (d - di).astype(np.int32)), 0.0)
+        distance = delta_x * (di * np.left_shift(1, np.maximum(di - 1, 0)))
+        effective = m_arr * scale
+        phase = n_tx * (lam_x + tau * effective)
+        phase = phase + distance
+        phase = phase + np.where(live & (n_phases > 1), shuffle, 0.0)
+        phase = phase + np.where(live, gsync, 0.0)
         total += phase
     return total
 

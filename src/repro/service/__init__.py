@@ -1,0 +1,34 @@
+"""Long-lived optimizer query service (paper §6, served at scale).
+
+The paper's punchline is that the block-size/partition enumeration
+"needs to be done only once and the optimal combination stored for
+repeated future use".  This subsystem is the *repeated future use*:
+
+:mod:`repro.service.registry`
+    :class:`OptimizerRegistry` — precomputes and shards
+    :class:`~repro.model.optimizer.OptimizerTable` objects per machine
+    preset × cube dimension (backed by the v2 shard files of
+    :mod:`repro.model.store`), with lazy loading, LRU eviction, a
+    result memo cache, and cache-hit statistics.
+:mod:`repro.service.batch`
+    :class:`QueryBatch` — coalesces heterogeneous ``(preset, d, m)``
+    lookups into as few grid-kernel calls as possible.
+:mod:`repro.service.server`
+    :func:`serve` — the stdin/stdout JSON-lines request loop behind
+    ``repro serve`` (and the one-shot ``repro query``).
+"""
+
+from repro.service.batch import Query, QueryBatch, QueryResult, resolve_queries
+from repro.service.registry import DEFAULT_DIMS, OptimizerRegistry, RegistryStats
+from repro.service.server import serve
+
+__all__ = [
+    "DEFAULT_DIMS",
+    "OptimizerRegistry",
+    "Query",
+    "QueryBatch",
+    "QueryResult",
+    "RegistryStats",
+    "resolve_queries",
+    "serve",
+]

@@ -1,0 +1,145 @@
+"""JSON-lines request loop for the optimizer query service.
+
+One request per line on the input stream, one JSON response per line
+on the output stream — the transport behind ``repro serve``.  The
+protocol is deliberately tiny:
+
+* ``{"d": 7, "m": 40, "preset": "ipsc860", "id": 1}``
+    one lookup; ``preset`` defaults to the server's default, ``id``
+    (any JSON value) is echoed back.
+* ``{"queries": [{...}, {...}], "id": 2}`` (or a bare JSON array)
+    a batch — resolved in one coalesced pass through
+    :func:`repro.service.batch.resolve_queries`; the response carries
+    a ``results`` list in input order.
+* ``{"op": "stats", "id": 3}``
+    the registry's live counters (queries, memo hit rate, grid calls,
+    table loads/evictions).
+
+Malformed lines answer ``{"ok": false, "error": ...}`` and the loop
+keeps serving; EOF ends the session.  Responses are flushed per line
+so pipe-driven clients can interleave requests and replies.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from repro.service.batch import Query, resolve_queries
+from repro.service.registry import OptimizerRegistry, RegistryStats
+
+__all__ = ["handle_request", "serve"]
+
+
+def _query_from_obj(obj: dict, default_preset: str | None) -> Query:
+    if not isinstance(obj, dict):
+        raise ValueError(f"query must be an object, got {type(obj).__name__}")
+    unknown = set(obj) - {"preset", "d", "m", "id"}
+    if unknown:
+        raise ValueError(f"unknown query fields {sorted(unknown)}")
+    try:
+        d, m = obj["d"], obj["m"]
+    except KeyError as missing:
+        raise ValueError(f"query is missing required field {missing}") from None
+    preset = obj.get("preset", default_preset)
+    if preset is None:
+        raise ValueError("query has no machine preset and the server has no default")
+    if not isinstance(preset, str):
+        raise ValueError(f"preset must be a string, got {preset!r}")
+    if not isinstance(d, int) or isinstance(d, bool):
+        raise ValueError(f"d must be an integer, got {d!r}")
+    if isinstance(m, bool) or not isinstance(m, (int, float)):
+        raise ValueError(f"m must be a number, got {m!r}")
+    return Query(preset=preset, d=d, m=float(m), tag=obj.get("id"))
+
+
+def _result_to_dict(result) -> dict:
+    doc = {
+        "ok": True,
+        "preset": result.preset,
+        "d": result.d,
+        "m": result.m,
+        "partition": list(result.partition),
+        "time_us": result.time_us,
+        "source": result.source,
+    }
+    if result.tag is not None:
+        doc["id"] = result.tag
+    return doc
+
+
+def handle_request(
+    obj: Any,
+    registry: OptimizerRegistry,
+    *,
+    default_preset: str | None = None,
+) -> dict:
+    """Answer one decoded request object (see module docstring)."""
+    request_id = obj.get("id") if isinstance(obj, dict) else None
+    try:
+        if isinstance(obj, dict) and "op" in obj:
+            op = obj["op"]
+            if op == "stats":
+                response = {"ok": True, "op": "stats", "stats": registry.stats.as_dict()}
+            elif op == "presets":
+                response = {"ok": True, "op": "presets", "presets": list(registry.preset_names)}
+            else:
+                raise ValueError(f"unknown op {op!r}; use 'stats' or 'presets'")
+        elif isinstance(obj, list) or (isinstance(obj, dict) and "queries" in obj):
+            items = obj if isinstance(obj, list) else obj["queries"]
+            if not isinstance(items, list):
+                raise ValueError("'queries' must be an array")
+            queries = [_query_from_obj(item, default_preset) for item in items]
+            results = resolve_queries(registry, queries)
+            response = {"ok": True, "results": [_result_to_dict(r) for r in results]}
+        elif isinstance(obj, dict):
+            query = _query_from_obj(obj, default_preset)
+            return _result_to_dict(resolve_queries(registry, [query])[0])
+        else:
+            raise ValueError(f"request must be an object or array, got {type(obj).__name__}")
+    except (TypeError, ValueError, OverflowError) as exc:
+        # OverflowError: e.g. an integer m too large for float() —
+        # still a malformed request, never a reason to die
+        response = {"ok": False, "error": str(exc)}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def serve(
+    registry: OptimizerRegistry,
+    in_stream: IO[str],
+    out_stream: IO[str],
+    *,
+    default_preset: str | None = None,
+) -> RegistryStats:
+    """Run the request loop until EOF; returns the final stats.
+
+    >>> import io
+    >>> registry = OptimizerRegistry()
+    >>> out = io.StringIO()
+    >>> stats = serve(
+    ...     registry,
+    ...     io.StringIO('{"preset": "ipsc860", "d": 7, "m": 40}\\n'),
+    ...     out,
+    ... )
+    >>> json.loads(out.getvalue())["partition"]
+    [4, 3]
+    """
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response = {"ok": False, "error": f"invalid JSON: {exc}"}
+        else:
+            response = handle_request(obj, registry, default_preset=default_preset)
+        try:
+            out_stream.write(json.dumps(response) + "\n")
+            out_stream.flush()
+        except BrokenPipeError:
+            # the client hung up — a routine end of session, not a crash
+            break
+    return registry.stats

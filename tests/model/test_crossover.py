@@ -6,8 +6,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.model.crossover import crossover_block_size, empirical_crossover, standard_wins
+from repro.model.crossover import (
+    crossover_block_size,
+    empirical_crossover,
+    empirical_crossovers,
+    standard_wins,
+)
 from repro.model.cost import optimal_time, standard_time
+from repro.model.params import PRESETS
 
 
 class TestClosedForm:
@@ -83,3 +89,43 @@ class TestEmpirical:
             m_star + 0.5, d, (d,), p
         )
         assert before <= 0 <= after or before >= 0 >= after
+
+
+class TestGridMigration:
+    """The bisection rides the grid kernel by default; the scalar
+    reference path must return bitwise-identical floats."""
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_default_pair_exact_agreement(self, d, preset):
+        params = PRESETS[preset]()
+        grid = empirical_crossover(d, params, method="grid")
+        scalar = empirical_crossover(d, params, method="scalar")
+        assert grid == scalar
+
+    def test_batched_matches_per_call(self, ipsc):
+        from repro.core.partitions import cached_partitions
+
+        pool = cached_partitions(6)
+        pairs = [(a, b) for a in pool for b in pool]
+        batched = empirical_crossovers(6, ipsc, pairs, method="grid")
+        singles = [
+            empirical_crossovers(6, ipsc, [pair], method="scalar")[0]
+            for pair in pairs
+        ]
+        assert batched == singles
+
+    def test_identical_pair_is_none_in_both_paths(self, ipsc):
+        for method in ("grid", "scalar"):
+            assert (
+                empirical_crossovers(6, ipsc, [((3, 3), (3, 3))], method=method)[0]
+                is None
+            )
+
+    def test_empty_batch(self, ipsc):
+        assert empirical_crossovers(6, ipsc, [], method="grid") == []
+        assert empirical_crossovers(6, ipsc, [], method="scalar") == []
+
+    def test_rejects_unknown_method(self, ipsc):
+        with pytest.raises(ValueError, match="method"):
+            empirical_crossovers(6, ipsc, [((1,) * 6, (6,))], method="simd")

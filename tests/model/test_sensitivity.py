@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.model.params import PRESETS
 from repro.model.sensitivity import (
     free_permutation_study,
     hull_under,
@@ -58,6 +61,81 @@ class TestLatencySweep:
         bytes — consistent with Figures 4-6."""
         sweep = dict(latency_sweep(6))
         assert 0 < sweep[95.0] < 200
+
+
+class TestGridScalarAgreement:
+    """The migrated grid-path studies must agree *exactly* — bitwise,
+    not approximately — with the scalar reference implementations,
+    across every preset and d ∈ {2..8}."""
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_free_permutation_exact(self, d, preset):
+        base = PRESETS[preset]()
+        grid = free_permutation_study(d, m_max=60.0, base=base, method="grid")
+        scalar = free_permutation_study(d, m_max=60.0, base=base, method="scalar")
+        assert grid == scalar
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_sync_overheads_exact(self, d, preset):
+        base = PRESETS[preset]()
+        grid = sync_overhead_study(d, m_max=60.0, base=base, method="grid")
+        scalar = sync_overhead_study(d, m_max=60.0, base=base, method="scalar")
+        assert grid == scalar
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_latency_sweep_exact(self, d, preset):
+        base = PRESETS[preset]()
+        latencies = (10.0, 95.0, 400.0)
+
+        def run(method):
+            try:
+                return latency_sweep(d, latencies, base=base, method=method)
+            except ValueError:
+                return "no-crossover"
+
+        assert run("grid") == run("scalar")
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        d=st.integers(min_value=2, max_value=8),
+        preset=st.sampled_from(sorted(PRESETS)),
+        latency=st.floats(min_value=0.0, max_value=500.0),
+        permute=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_hull_under_property(self, d, preset, latency, permute):
+        """Arbitrary calibration variations: the grid and scalar hulls
+        are the same object graph, switch points included."""
+        params = PRESETS[preset]().with_overrides(
+            latency=latency, permute_time=permute
+        )
+        grid = hull_under("varied", params, d, m_max=30.0, method="grid")
+        scalar = hull_under("varied", params, d, m_max=30.0, method="scalar")
+        assert grid == scalar
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        d=st.integers(min_value=2, max_value=8),
+        preset=st.sampled_from(sorted(PRESETS)),
+        lats=st.lists(
+            st.floats(min_value=0.5, max_value=600.0), min_size=1, max_size=4
+        ),
+    )
+    def test_latency_sweep_property(self, d, preset, lats):
+        """Random latency ladders: both paths return identical pairs,
+        or raise identically when a crossover is missing."""
+        base = PRESETS[preset]()
+        latencies = tuple(sorted(set(lats)))
+
+        def run(method):
+            try:
+                return latency_sweep(d, latencies, base=base, method=method)
+            except ValueError:
+                return "no-crossover"
+
+        assert run("grid") == run("scalar")
 
 
 class TestHullUnder:

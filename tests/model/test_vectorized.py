@@ -16,7 +16,12 @@ from repro.core.partitions import cached_partitions, partitions
 from repro.model.cost import multiphase_time
 from repro.model.optimizer import best_partition, best_partitions
 from repro.model.params import hypothetical, ipsc860
-from repro.model.vectorized import grid_winners, multiphase_time_grid, pack_partitions
+from repro.model.vectorized import (
+    grid_winners,
+    multiphase_time_grid,
+    multiphase_time_pairs,
+    pack_partitions,
+)
 
 PRESET_PARAMS = (ipsc860(), hypothetical())
 
@@ -79,6 +84,38 @@ class TestGridMatchesScalar:
         spot = [(0, 0), (7, 99), (14, 511), (3, 256)]
         for i, j in spot:
             assert grid[i, j] == multiphase_time(ms[j], 7, pool[i], ipsc)
+
+
+class TestPairsMatchScalar:
+    @settings(deadline=None, max_examples=120)
+    @given(
+        d=st.integers(min_value=1, max_value=10),
+        ms=st.lists(
+            st.floats(min_value=0.0, max_value=4096.0, allow_nan=False),
+            min_size=1,
+            max_size=24,
+        ),
+        params=params_strategy(),
+        data=st.data(),
+    )
+    def test_elementwise_agreement(self, d, ms, params, data):
+        """Property: each (m, partition) pairing equals the scalar
+        model exactly — the pairs kernel is the grid's diagonal."""
+        pool = list(cached_partitions(d))
+        candidates = data.draw(
+            st.lists(st.sampled_from(pool), min_size=len(ms), max_size=len(ms))
+        )
+        times = multiphase_time_pairs(ms, d, candidates, params)
+        assert times.shape == (len(ms),)
+        for i, (m, partition) in enumerate(zip(ms, candidates)):
+            assert times[i] == multiphase_time(m, d, partition, params)
+
+    def test_length_mismatch_rejected(self, ipsc):
+        with pytest.raises(ValueError, match="paired with"):
+            multiphase_time_pairs([1.0, 2.0], 5, [(5,)], ipsc)
+
+    def test_empty(self, ipsc):
+        assert multiphase_time_pairs([], 5, [], ipsc).shape == (0,)
 
 
 class TestValidation:

@@ -96,3 +96,224 @@ class TestHullPersistence:
         capsys.readouterr()
         with pytest.raises(ValueError, match="different constants"):
             main(["--machine", "hypothetical", "hull", "5", "--load", path])
+
+
+class TestJsonOutput:
+    def test_hull_json(self, capsys):
+        import json
+
+        assert main(["hull", "5", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["d"] == 5 and doc["machine"] == "iPSC-860"
+        assert doc["hull"] == [[3, 2], [5]]
+        assert doc["ranges"][0]["lo"] == 0.0
+        assert doc["ranges"][-1]["hi"] == 400.0
+
+    def test_hull_text_unchanged_by_flag_absence(self, capsys):
+        assert main(["hull", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("hull of optimality")
+        assert "{" in out and "bytes" in out
+
+    def test_sweep_json(self, capsys):
+        import json
+
+        assert main(["sweep", "--dims", "5", "--sizes", "8", "40", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["machine"] == "iPSC-860"
+        assert [c["partition"] for c in doc["cells"]] == [[3, 2], [3, 2]]
+        assert all(c["gain_over_classics"] >= 1.0 for c in doc["cells"])
+
+    def test_query_json(self, capsys):
+        import json
+
+        assert main(["query", "7", "40", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["partition"] == [4, 3]
+        assert doc["source"] == "grid"
+
+
+class TestServiceCommands:
+    def test_shards_then_query(self, tmp_path, capsys):
+        shard_dir = str(tmp_path / "shards")
+        assert main(["shards", shard_dir, "--dims", "5", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "ipsc860.shard" in out
+        assert main(["query", "7", "40", "--shards", shard_dir]) == 0
+        out = capsys.readouterr().out
+        assert "{3,4}" in out and "prebuilt shard directory" in out
+
+    def test_shards_all_machines(self, tmp_path, capsys):
+        shard_dir = str(tmp_path / "shards")
+        assert main(["shards", shard_dir, "--dims", "5", "--all-machines"]) == 0
+        out = capsys.readouterr().out
+        assert "hypothetical.shard" in out and "ipsc860.shard" in out
+
+    def test_query_text(self, capsys):
+        assert main(["query", "7", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal partition for d=7" in out
+        assert "{3,4}" in out
+
+    def test_query_missing_shard_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["query", "7", "40", "--shards", str(tmp_path / "nope")])
+
+    def test_serve_session(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        shard_dir = str(tmp_path / "shards")
+        assert main(["shards", shard_dir, "--dims", "5", "6", "7", "--all-machines"]) == 0
+        capsys.readouterr()
+        requests = "\n".join(
+            [
+                '{"d": 7, "m": 40, "id": 1}',
+                '{"preset": "hypothetical", "d": 6, "m": 24, "id": 2}',
+                '{"d": 7, "m": 40, "id": 3}',
+                '{"op": "stats"}',
+            ]
+        ) + "\n"
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(requests))
+        assert main(["serve", "--shards", shard_dir]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        assert lines[0]["partition"] == [4, 3] and lines[0]["id"] == 1
+        assert lines[1]["partition"] == [3, 3]
+        assert lines[2]["source"] == "memo"
+        assert lines[3]["stats"]["memo_hits"] == 1
+        assert lines[3]["stats"]["tables_built"] == 0
+        assert "served 3 queries" in captured.err
+
+    def test_serve_shard_dir_without_default_preset(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        shard_dir = str(tmp_path / "shards")
+        assert main(
+            ["--machine", "hypothetical", "shards", shard_dir, "--dims", "5"]
+        ) == 0
+        capsys.readouterr()
+        requests = (
+            '{"preset": "hypothetical", "d": 5, "m": 40}\n'
+            '{"d": 5, "m": 40}\n'
+        )
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(requests))
+        # the default --machine (ipsc860) is absent from the shard dir:
+        # the server must still start and answer preset-named requests
+        assert main(["serve", "--shards", shard_dir]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        assert lines[0]["ok"] and lines[0]["preset"] == "hypothetical"
+        assert not lines[1]["ok"] and "no default" in lines[1]["error"]
+        assert "requests must name a preset" in captured.err
+
+    def test_serve_without_shards(self, capsys, monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO('{"d": 5, "m": 40}\n'))
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["partition"] == [3, 2]
+
+
+class TestReviewRegressions:
+    def test_hull_json_after_load_has_unknown_bound(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "d5.json")
+        assert main(["hull", "5", "--save", path]) == 0
+        capsys.readouterr()
+        assert main(["hull", "5", "--load", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # the stored document does not record the sweep bound
+        assert doc["m_max"] is None
+        assert doc["ranges"][-1]["hi"] is None
+        assert doc["ranges"][0]["hi"] == doc["boundaries"][0]
+
+    def test_query_reports_in_process_sweep_for_missing_dim(self, tmp_path, capsys):
+        shard_dir = str(tmp_path / "shards")
+        assert main(["shards", shard_dir, "--dims", "5"]) == 0
+        capsys.readouterr()
+        assert main(["query", "7", "40", "--shards", shard_dir]) == 0
+        out = capsys.readouterr().out
+        assert "in-process sweep (dimension not in the shard directory)" in out
+
+    def test_truncated_shard_is_a_clean_error(self, tmp_path):
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+        (shard_dir / "ipsc860.shard").write_bytes(b"RPROSHRD\x02\x00")
+        with pytest.raises(SystemExit, match="truncated"):
+            main(["query", "7", "40", "--shards", str(shard_dir)])
+
+    def test_hull_json_merges_adjacent_duplicate_segments(self, tmp_path, capsys):
+        import json
+        from dataclasses import asdict
+
+        from repro.model.params import ipsc860
+
+        doc = {
+            "format_version": 1,
+            "d": 7,
+            "params": asdict(ipsc860()),
+            "boundaries": [10.0, 50.0],
+            "segments": [[4, 3], [4, 3], [7]],
+        }
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps(doc))
+        assert main(["hull", "7", "--load", str(path), "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["ranges"] == [
+            {"partition": [4, 3], "lo": 0.0, "hi": 50.0},
+            {"partition": [7], "lo": 50.0, "hi": None},
+        ]
+
+    def test_hull_text_merges_adjacent_duplicate_segments(self, tmp_path, capsys):
+        import json
+        from dataclasses import asdict
+
+        from repro.model.params import ipsc860
+
+        doc = {
+            "format_version": 1,
+            "d": 7,
+            "params": asdict(ipsc860()),
+            "boundaries": [10.0, 50.0],
+            "segments": [[4, 3], [4, 3], [7]],
+        }
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps(doc))
+        assert main(["hull", "7", "--load", str(path)]) == 0
+        out = capsys.readouterr().out
+        # {3,4} covers 0-50 B (both stored segments), not 0-10 B; the
+        # final segment's extent is unrecorded, so it prints open-ended
+        assert "stored table:" in out
+        assert "{3,4}              0.0 ..    50.0 bytes" in out
+        assert "{7}               50.0 ..       ? bytes" in out
+
+    def test_hull_text_widens_to_a_wider_loaded_table(self, tmp_path, capsys):
+        import json
+        from dataclasses import asdict
+
+        from repro.model.params import ipsc860
+
+        doc = {
+            "format_version": 1,
+            "d": 7,
+            "params": asdict(ipsc860()),
+            "boundaries": [10.0, 500.0],
+            "segments": [[4, 3], [4, 3], [7]],
+        }
+        path = tmp_path / "wide.json"
+        path.write_text(json.dumps(doc))
+        assert main(["hull", "7", "--load", str(path)]) == 0
+        out = capsys.readouterr().out
+        # the stored sweep reaches 500 B; the default 400 B cap must
+        # neither invert the final range ("500.0 .. 400.0") nor cap it
+        assert "stored table:" in out
+        assert "{3,4}              0.0 ..   500.0 bytes" in out
+        assert "{7}              500.0 ..       ? bytes" in out

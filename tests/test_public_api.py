@@ -21,8 +21,9 @@ class TestPublicSurface:
 
     def test_subpackage_alls_importable(self):
         for module_name in (
-            "repro.core", "repro.model", "repro.hypercube",
-            "repro.sim", "repro.comm", "repro.analysis", "repro.apps", "repro.util",
+            "repro.core", "repro.model", "repro.hypercube", "repro.sim",
+            "repro.comm", "repro.analysis", "repro.apps", "repro.util",
+            "repro.service",
         ):
             module = importlib.import_module(module_name)
             for name in module.__all__:
@@ -61,6 +62,9 @@ DOCTEST_MODULES = [
     "repro.model.crossover",
     "repro.model.optimizer",
     "repro.model.vectorized",
+    "repro.service.registry",
+    "repro.service.batch",
+    "repro.service.server",
     "repro.sim.machine",
     "repro.comm.program",
     "repro.apps.transpose",
