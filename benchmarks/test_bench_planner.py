@@ -1,0 +1,103 @@
+"""Plan-cache amortization of repeated collective decisions.
+
+The acceptance bar for the planner refactor's serving economics: a
+workload that keeps re-planning the same handful of ``(d, m)``
+collectives — the shape an iterative app generates (ADI re-plans the
+same transpose every step) — must reach the policy at least 10x less
+often than it plans, for the model policy and the service policy
+alike.  Correctness (the cached decision equals the fresh one) is
+asserted alongside, and a wall-clock comparison against an uncached
+planner is reported informationally.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.plan import CollectivePlanner, ModelPolicy, ServicePolicy
+
+#: five distinct collectives, re-planned round-robin 300 times — a
+#: repeated-(d, m) workload with a 60x repeat factor
+CELLS = ((5, 40.0), (6, 24.0), (7, 40.0), (5, 160.0), (6, 8.0))
+N_DECISIONS = 300
+
+
+def workload():
+    return [CELLS[i % len(CELLS)] for i in range(N_DECISIONS)]
+
+
+class CountingPolicy:
+    """Wrap a policy, counting how often it is actually consulted."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = inner.name
+        self.calls = 0
+
+    def decide(self, d, m):
+        self.calls += 1
+        return self.inner.decide(d, m)
+
+
+@pytest.mark.parametrize(
+    "make_inner",
+    [
+        lambda ipsc: ModelPolicy(ipsc),
+        lambda ipsc: ServicePolicy(preset="ipsc860"),
+    ],
+    ids=["model", "service"],
+)
+def test_plan_cache_amortizes_repeated_decisions(ipsc, make_inner):
+    """>= 10x fewer policy/service calls than decisions on repeats."""
+    policy = CountingPolicy(make_inner(ipsc))
+    planner = CollectivePlanner(policy)
+    decisions = [planner.decide(d, m) for d, m in workload()]
+
+    assert planner.stats.decisions == N_DECISIONS
+    assert policy.calls == len(CELLS)  # one consultation per distinct cell
+    assert N_DECISIONS >= 10 * policy.calls, (
+        f"{policy.calls} policy calls for {N_DECISIONS} decisions — "
+        "the plan cache is not amortizing"
+    )
+
+    # cached answers are the policy's answers
+    fresh = {(d, m): make_inner(ipsc).decide(d, m) for d, m in CELLS}
+    for (d, m), decision in zip(workload(), decisions):
+        assert decision.partition == fresh[(d, m)].partition
+        assert decision.predicted_us == fresh[(d, m)].predicted_us
+
+
+@pytest.mark.perf
+def test_bench_planner_cache_speedup(ipsc, archive):
+    """Wall-clock: cached planning vs consulting the policy each time
+    (informational; the gating assertion above counts calls)."""
+    t0 = time.perf_counter()
+    planner = CollectivePlanner(ModelPolicy(ipsc))
+    for d, m in workload():
+        planner.decide(d, m)
+    cached_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    policy = ModelPolicy(ipsc)
+    for d, m in workload():
+        policy.decide(d, m)
+    uncached_s = time.perf_counter() - t0
+
+    speedup = uncached_s / cached_s if cached_s else float("inf")
+    archive(
+        "bench_planner.txt",
+        "\n".join(
+            [
+                f"repeated-(d, m) planning workload: {N_DECISIONS} decisions, "
+                f"{len(CELLS)} distinct cells",
+                f"  planner (plan cache):      {cached_s * 1e3:8.2f} ms "
+                f"({planner.stats.policy_calls} policy calls)",
+                f"  uncached policy each time: {uncached_s * 1e3:8.2f} ms "
+                f"({N_DECISIONS} policy calls)",
+                f"  speedup: {speedup:.1f}x",
+            ]
+        ),
+    )
+    assert speedup >= 10.0, f"plan cache speedup only {speedup:.1f}x"

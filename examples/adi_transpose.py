@@ -23,8 +23,8 @@ import numpy as np
 from repro.apps.adi import ADIProblem, adi_reference_step, run_adi
 from repro.apps.transpose import transpose_block_size
 from repro.model.cost import multiphase_time
-from repro.model.optimizer import best_partition
 from repro.model.params import ipsc860
+from repro.plan import CollectivePlanner, ModelPolicy
 
 
 def main() -> None:
@@ -49,15 +49,17 @@ def main() -> None:
         assert np.allclose(u, u_ref, atol=1e-12), "distributed ADI diverged from reference"
         print(f"step {step}: peak {peak:8.3f}   energy {energy:12.2f}   (matches reference)")
 
-    # what the two transposes per step cost on the iPSC-860 model
+    # what the two transposes per step cost on the iPSC-860 model,
+    # asked through the collective planner (model policy = §6 optimizer)
     params = ipsc860()
+    planner = CollectivePlanner(ModelPolicy(params))
     print("\nper-step exchange cost on the calibrated iPSC-860 (2 transposes):")
     print("grid     block(B)   best partition   t_multiphase   t_singlephase")
     for grid in (16, 32, 64, 128):
         m = transpose_block_size(grid, n_nodes, dtype=np.float64)
-        choice = best_partition(float(m), d, params)
-        label = "{" + ",".join(map(str, sorted(choice.partition))) + "}"
-        t_best = 2 * choice.time * 1e-6
+        decision = planner.decide(d, float(m))
+        label = "{" + ",".join(map(str, sorted(decision.partition))) + "}"
+        t_best = 2 * decision.predicted_us * 1e-6
         t_single = 2 * multiphase_time(float(m), d, (d,), params) * 1e-6
         print(
             f"{grid:4d}^2   {m:7d}   {label:14s}   {t_best:10.4f} s   {t_single:11.4f} s"

@@ -18,8 +18,8 @@ import sys
 from repro.analysis.figures import figure_data, render_figure
 from repro.analysis.hull import PAPER_HULLS, PAPER_LAST_BOUNDARY, hull_agreement
 from repro.core.partitions import partition_count
-from repro.model.optimizer import best_partition
 from repro.model.params import ipsc860
+from repro.plan import CollectivePlanner, ModelPolicy
 
 
 def fmt(partition) -> str:
@@ -53,15 +53,17 @@ def main() -> None:
           f"(switch to single phase ~{PAPER_LAST_BOUNDARY[d]:.0f} B; "
           f"reproduced {agreement.reproduced_last_boundary:.1f} B)")
 
-    # spot ranking at the paper's headline block size
+    # spot ranking at the paper's headline block size, via the planner
+    # API (the model policy carries the optimizer's full ranking)
     m = 40.0
-    choice = best_partition(m, d, params)
+    planner = CollectivePlanner(ModelPolicy(params))
+    decision = planner.decide(d, m)
     print(f"\nfull ranking at m={m:.0f} B:")
-    for partition, time in choice.ranking[:6]:
-        marker = "  <-- winner" if partition == choice.partition else ""
+    for partition, time in decision.ranking[:6]:
+        marker = "  <-- winner" if partition == decision.partition else ""
         print(f"  {fmt(partition):12s} {time * 1e-6:8.4f} s{marker}")
-    if len(choice.ranking) > 6:
-        print(f"  ... {len(choice.ranking) - 6} more")
+    if len(decision.ranking) > 6:
+        print(f"  ... {len(decision.ranking) - 6} more")
 
     figure_number = {5: 4, 6: 5, 7: 6}[d]
     data = figure_data(figure_number, params=params, simulate=False)

@@ -39,6 +39,10 @@ Package map
 :mod:`repro.service`
     Long-lived optimizer query service: sharded table registry,
     batched query resolution, JSON-lines serving loop.
+:mod:`repro.plan`
+    Optimizer-guided collective planning: pluggable policies
+    (fixed / model / service) selecting the exchange algorithm per
+    ``(d, m)`` for the comm layer, the apps, and the §9 patterns.
 """
 
 from repro.apps import (
@@ -75,6 +79,14 @@ from repro.model import (
     optimal_time,
     standard_time,
 )
+from repro.plan import (
+    CollectivePlanner,
+    FixedPolicy,
+    ModelPolicy,
+    PlanDecision,
+    ServicePolicy,
+    plan_pattern,
+)
 from repro.service import OptimizerRegistry, Query, QueryBatch, QueryResult
 from repro.sim import SimulatedHypercube
 
@@ -82,15 +94,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ADIProblem",
+    "CollectivePlanner",
     "Communicator",
     "DistributedTable",
     "ExchangeOutcome",
+    "FixedPolicy",
     "Hypercube",
     "MachineParams",
+    "ModelPolicy",
     "OptimizerRegistry",
+    "PlanDecision",
     "Query",
     "QueryBatch",
     "QueryResult",
+    "ServicePolicy",
     "SimulatedHypercube",
     "__version__",
     "adi_step",
@@ -112,6 +129,7 @@ __all__ = [
     "optimal_time",
     "partition_count",
     "partitions",
+    "plan_pattern",
     "run_adi",
     "run_exchange",
     "run_exchange_on_rows",

@@ -27,18 +27,28 @@ from repro.analysis.tables import (
     section43_crossover,
     section51_example,
 )
+from repro.analysis.validation import (
+    APP_WORKLOADS,
+    PlanValidationReport,
+    ValidationRow,
+    validate_policy,
+)
 
 __all__ = [
+    "APP_WORKLOADS",
     "FIGURE_SPECS",
     "FigureData",
     "FigureSpec",
     "HullAgreement",
     "PAPER_HULLS",
     "PartitionCurve",
+    "PlanValidationReport",
     "Report",
     "Row",
     "Series",
     "SweepCell",
+    "ValidationRow",
+    "validate_policy",
     "partition_sweep",
     "render_sweep",
     "agreement_rows",

@@ -1,0 +1,221 @@
+"""Planner validation: predicted vs. simulated time per decision.
+
+Runs the four application workloads (transpose, 2-D FFT, table lookup,
+ADI) end-to-end under a chosen planning policy, payload-checking every
+result against its numpy reference, then replays each *distinct*
+planning decision on the simulated machine and compares the policy's
+predicted time against the measured virtual time.  For contention-free
+schedules the two must agree almost exactly (the simulator shares the
+model's constants); the naive baseline has no analytic model, so its
+rows report the simulated time alone.
+
+This closes the loop the planner opens: the optimizer chooses, the
+apps run the choice, and this report shows the choice was priced
+correctly.  ``repro apps --policy {fixed,model,service}`` renders it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.comm.program import simulate_planned_exchange
+from repro.model.params import MachineParams, PRESETS
+from repro.plan import CollectivePlanner, FixedPolicy, PlanDecision, PlanningPolicy
+from repro.plan.decision import format_partition
+
+__all__ = [
+    "APP_WORKLOADS",
+    "PlanValidationReport",
+    "ValidationRow",
+    "validate_policy",
+]
+
+
+# ----------------------------------------------------------------------
+# app workloads (small, payload-checked against numpy references)
+# ----------------------------------------------------------------------
+def _workload_transpose(planner: CollectivePlanner) -> None:
+    from repro.apps.transpose import distributed_transpose
+
+    rng = np.random.default_rng(101)
+    matrix = rng.standard_normal((16, 16))
+    got = distributed_transpose(matrix, 8, planner=planner)
+    if not np.array_equal(got, matrix.T):
+        raise AssertionError("transpose payload check failed")
+
+
+def _workload_fft2d(planner: CollectivePlanner) -> None:
+    from repro.apps.fft2d import distributed_fft2
+
+    rng = np.random.default_rng(202)
+    grid = rng.standard_normal((8, 8))
+    got = distributed_fft2(grid, 4, planner=planner)
+    if not np.allclose(got, np.fft.fft2(grid)):
+        raise AssertionError("fft2d payload check failed")
+
+
+def _workload_lookup(planner: CollectivePlanner) -> None:
+    from repro.apps.lookup import DistributedTable, distributed_lookup
+
+    rng = np.random.default_rng(303)
+    keys = np.arange(0, 64, 3)
+    table = DistributedTable(keys, keys * 1.5, 16, 64)
+    queries = [rng.choice(keys, size=4) for _ in range(16)]
+    answers = distributed_lookup(table, queries, planner=planner)
+    for q, a in zip(queries, answers):
+        if not np.array_equal(a, q * 1.5):
+            raise AssertionError("lookup payload check failed")
+
+
+def _workload_adi(planner: CollectivePlanner) -> None:
+    from repro.apps.adi import ADIProblem, adi_reference_step, run_adi
+
+    problem = ADIProblem(size=16, dt=2e-4)
+    u0 = np.zeros((16, 16))
+    u0[6:10, 6:10] = 100.0
+    got = run_adi(u0, problem, 8, 2, planner=planner)
+    ref = adi_reference_step(adi_reference_step(u0, problem), problem)
+    if not np.allclose(got, ref, atol=1e-12):
+        raise AssertionError("adi payload check failed")
+
+
+#: the validated workloads, in report order
+APP_WORKLOADS: dict[str, Callable[[CollectivePlanner], None]] = {
+    "transpose": _workload_transpose,
+    "fft2d": _workload_fft2d,
+    "lookup": _workload_lookup,
+    "adi": _workload_adi,
+}
+
+
+# ----------------------------------------------------------------------
+# the report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ValidationRow:
+    """One planning decision, priced and measured."""
+
+    app: str
+    d: int
+    m: float
+    algorithm: str
+    partition: tuple[int, ...] | None
+    predicted_us: float | None
+    simulated_us: float
+    #: ``|simulated - predicted| / predicted`` (``None`` when the
+    #: algorithm has no analytic prediction)
+    rel_error: float | None
+
+
+@dataclass
+class PlanValidationReport:
+    """Payload-verified app runs plus per-decision timing agreement."""
+
+    policy: str
+    params_name: str
+    rows: list[ValidationRow] = field(default_factory=list)
+    verified_apps: list[str] = field(default_factory=list)
+    #: plan records observed in the simulator traces of the replayed
+    #: decisions (one per row — the audit trail the trace keeps)
+    n_trace_decisions: int = 0
+
+    @property
+    def max_rel_error(self) -> float:
+        """Worst relative error over rows that have a prediction."""
+        errors = [r.rel_error for r in self.rows if r.rel_error is not None]
+        return max(errors, default=0.0)
+
+    def render(self) -> str:
+        lines = [
+            f"planner validation under policy '{self.policy}' on {self.params_name}:",
+            f"  apps verified (payload-checked): {', '.join(self.verified_apps)}",
+            "  app        d  m(B)    algorithm     partition  "
+            "predicted(us)  simulated(us)  rel.err",
+        ]
+        for r in self.rows:
+            part = format_partition(r.partition) if r.partition is not None else "-"
+            predicted = f"{r.predicted_us:13.1f}" if r.predicted_us is not None else " " * 9 + "n/a "
+            rel = f"{r.rel_error * 100:6.3f}%" if r.rel_error is not None else "    n/a"
+            lines.append(
+                f"  {r.app:9s} {r.d:2d} {r.m:5.0f}  {r.algorithm:13s} {part:10s} "
+                f"{predicted}  {r.simulated_us:13.1f}  {rel}"
+            )
+        lines.append(
+            f"  {len(self.rows)} decisions replayed on the simulator "
+            f"({self.n_trace_decisions} plan records in traces); "
+            f"max rel. error {self.max_rel_error * 100:.3f}%"
+        )
+        return "\n".join(lines)
+
+
+class _ReplayPolicy:
+    """Re-issue one already-taken decision (for simulation replay)."""
+
+    def __init__(self, decision: PlanDecision) -> None:
+        self.decision = decision
+        self.name = decision.policy
+
+    def decide(self, d: int, m: float) -> PlanDecision:
+        if (d, float(m)) != (self.decision.d, self.decision.m):
+            raise ValueError(
+                f"replay policy holds a decision for (d={self.decision.d}, "
+                f"m={self.decision.m}), asked for (d={d}, m={m})"
+            )
+        return self.decision
+
+
+def validate_policy(
+    policy: PlanningPolicy | None = None,
+    *,
+    params: MachineParams | None = None,
+    apps: Sequence[str] | None = None,
+) -> PlanValidationReport:
+    """Run the app workloads under ``policy`` and price every decision.
+
+    ``policy`` defaults to the fixed single-phase policy; ``params``
+    (used to *simulate* the decisions) defaults to the iPSC-860
+    calibration.  Each app gets a fresh
+    :class:`~repro.plan.planner.CollectivePlanner` over the shared
+    policy — per-run plan caches, one audit log per app.
+    """
+    p = params if params is not None else PRESETS["ipsc860"]()
+    pol = policy if policy is not None else FixedPolicy(params=p)
+    names = list(apps) if apps is not None else list(APP_WORKLOADS)
+    report = PlanValidationReport(policy=pol.name, params_name=p.name)
+    for name in names:
+        try:
+            workload = APP_WORKLOADS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown app {name!r}; have {sorted(APP_WORKLOADS)}"
+            ) from None
+        planner = CollectivePlanner(pol)
+        workload(planner)
+        report.verified_apps.append(name)
+        for decision in planner.unique_decisions():
+            result = simulate_planned_exchange(
+                decision.d, int(decision.m), CollectivePlanner(_ReplayPolicy(decision)), p
+            )
+            report.n_trace_decisions += len(result.trace.plan_decisions)
+            predicted = decision.predicted_us
+            rel = (
+                abs(result.time_us - predicted) / predicted
+                if predicted is not None and predicted > 0
+                else None
+            )
+            report.rows.append(
+                ValidationRow(
+                    app=name,
+                    d=decision.d,
+                    m=decision.m,
+                    algorithm=decision.algorithm,
+                    partition=decision.partition,
+                    predicted_us=predicted,
+                    simulated_us=result.time_us,
+                    rel_error=rel,
+                )
+            )
+    return report

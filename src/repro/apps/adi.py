@@ -102,18 +102,22 @@ def adi_step(
     n_nodes: int,
     *,
     partition: Sequence[int] | None = None,
+    planner=None,
 ) -> np.ndarray:
     """One distributed ADI step using transposes for the column sweep.
 
     Bit-identical to :func:`adi_reference_step` (same arithmetic, data
-    moved by complete exchange), asserted by the tests.
+    moved by complete exchange), asserted by the tests.  With a
+    ``planner`` (:class:`repro.plan.CollectivePlanner`), each
+    transpose's exchange algorithm is selected per ``(d, m)`` at call
+    time.
     """
     log2_exact(n_nodes)
     r = problem.r
     half = _half_step_rows(u, r)
-    half_t = distributed_transpose(half, n_nodes, partition=partition)
+    half_t = distributed_transpose(half, n_nodes, partition=partition, planner=planner)
     stepped_t = _half_step_rows(half_t, r)
-    return distributed_transpose(stepped_t, n_nodes, partition=partition)
+    return distributed_transpose(stepped_t, n_nodes, partition=partition, planner=planner)
 
 
 def run_adi(
@@ -123,6 +127,7 @@ def run_adi(
     steps: int,
     *,
     partition: Sequence[int] | None = None,
+    planner=None,
 ) -> np.ndarray:
     """Advance ``steps`` ADI steps; diffusion with zero boundaries must
     monotonically dissipate energy (checked by the tests)."""
@@ -130,5 +135,5 @@ def run_adi(
     if u.shape != (problem.size, problem.size):
         raise ValueError(f"grid shape {u.shape} != problem size {problem.size}")
     for _ in range(steps):
-        u = adi_step(u, problem, n_nodes, partition=partition)
+        u = adi_step(u, problem, n_nodes, partition=partition, planner=planner)
     return u

@@ -35,6 +35,7 @@ def distributed_fft2(
     n_nodes: int,
     *,
     partition: Sequence[int] | None = None,
+    planner=None,
     restore_layout: bool = True,
 ) -> np.ndarray:
     """2-D FFT of a square grid using the distributed transpose.
@@ -50,6 +51,10 @@ def distributed_fft2(
         Processor count ``2**d``.
     partition:
         Multiphase partition used for both transposes.
+    planner:
+        A :class:`repro.plan.CollectivePlanner`; when given, each
+        transpose's exchange algorithm is selected per ``(d, m)`` at
+        call time.
     restore_layout:
         Transpose back at the end so the result has the standard
         orientation.  With ``False`` the (cheaper) transposed spectrum
@@ -66,14 +71,16 @@ def distributed_fft2(
     # 1. row FFTs within strips
     strips = _rowwise_fft(split_into_strips(work, n_nodes), inverse=False)
     # 2. distributed transpose (complete exchange)
-    transposed = distributed_transpose(gather_strips(strips), n_nodes, partition=partition)
+    transposed = distributed_transpose(
+        gather_strips(strips), n_nodes, partition=partition, planner=planner
+    )
     # 3. row FFTs again (former columns)
     strips = _rowwise_fft(split_into_strips(transposed, n_nodes), inverse=False)
     spectrum_t = gather_strips(strips)
     if not restore_layout:
         return spectrum_t
     # 4. transpose back
-    return distributed_transpose(spectrum_t, n_nodes, partition=partition)
+    return distributed_transpose(spectrum_t, n_nodes, partition=partition, planner=planner)
 
 
 def distributed_ifft2(
@@ -81,12 +88,15 @@ def distributed_ifft2(
     n_nodes: int,
     *,
     partition: Sequence[int] | None = None,
+    planner=None,
 ) -> np.ndarray:
     """Inverse 2-D FFT (same transpose structure as the forward
     transform); matches ``np.fft.ifft2``."""
     log2_exact(n_nodes)
     work = np.asarray(spectrum, dtype=np.complex128)
     strips = _rowwise_fft(split_into_strips(work, n_nodes), inverse=True)
-    transposed = distributed_transpose(gather_strips(strips), n_nodes, partition=partition)
+    transposed = distributed_transpose(
+        gather_strips(strips), n_nodes, partition=partition, planner=planner
+    )
     strips = _rowwise_fft(split_into_strips(transposed, n_nodes), inverse=True)
-    return distributed_transpose(gather_strips(strips), n_nodes, partition=partition)
+    return distributed_transpose(gather_strips(strips), n_nodes, partition=partition, planner=planner)

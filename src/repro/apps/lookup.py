@@ -21,7 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.exchange import run_exchange_on_rows
+from repro.core.exchange import run_exchange_on_rows, run_planned_exchange_on_rows
 from repro.util.bitops import log2_exact
 
 __all__ = ["DistributedTable", "distributed_lookup"]
@@ -74,6 +74,7 @@ def distributed_lookup(
     queries: Sequence[np.ndarray],
     *,
     partition: Sequence[int] | None = None,
+    planner=None,
 ) -> list[np.ndarray]:
     """Resolve each node's query batch against the sharded table.
 
@@ -81,7 +82,17 @@ def distributed_lookup(
     gives the values in the same order (NaN for absent keys).  Uses two
     complete exchanges with blocks padded to the largest per-pair query
     count, mirroring a fixed-block implementation on the real machine.
+    With a ``planner`` (:class:`repro.plan.CollectivePlanner`), each
+    exchange's algorithm is selected per ``(d, m)`` at call time.
     """
+    if planner is not None and partition is not None:
+        raise ValueError("pass either a planner or an explicit partition, not both")
+
+    def exchange(rows):
+        if planner is not None:
+            return run_planned_exchange_on_rows(rows, planner)
+        return run_exchange_on_rows(rows, partition)
+
     n = table.n_nodes
     if len(queries) != n:
         raise ValueError(f"need one query batch per node, got {len(queries)} for {n}")
@@ -108,7 +119,7 @@ def distributed_lookup(
             padded[: len(routed[x][j])] = routed[x][j]
             rows[j] = padded.view(np.uint8)
         send_rows.append(rows)
-    recv_rows = run_exchange_on_rows(send_rows, partition)
+    recv_rows = exchange(send_rows)
 
     # local lookups at each shard
     answer_rows = []
@@ -124,7 +135,7 @@ def distributed_lookup(
         answer_rows.append(rows)
 
     # exchange 2: answers back to the querying nodes
-    returned = run_exchange_on_rows(answer_rows, partition)
+    returned = exchange(answer_rows)
 
     # unpad and restore original query order
     results = []

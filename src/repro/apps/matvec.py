@@ -25,7 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.apps.transpose import distributed_transpose, gather_strips, split_into_strips
+from repro.apps.transpose import distributed_transpose, split_into_strips
 from repro.patterns.allgather import allgather
 from repro.util.bitops import log2_exact
 

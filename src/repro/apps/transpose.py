@@ -18,7 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.exchange import run_exchange_on_rows
+from repro.core.exchange import run_exchange_on_rows, run_planned_exchange_on_rows
 from repro.util.bitops import log2_exact
 
 __all__ = [
@@ -63,6 +63,7 @@ def distributed_transpose(
     n_nodes: int,
     *,
     partition: Sequence[int] | None = None,
+    planner=None,
 ) -> np.ndarray:
     """Transpose ``matrix`` using a multiphase complete exchange.
 
@@ -75,6 +76,10 @@ def distributed_transpose(
         Number of processors ``n = 2**d``.
     partition:
         Multiphase partition (default single phase).
+    planner:
+        A :class:`repro.plan.CollectivePlanner`; when given, the
+        exchange algorithm (standard / multiphase / naive) is selected
+        per ``(d, m)`` at call time instead of via ``partition``.
 
     Returns the transposed matrix, reassembled from the strips.  The
     result equals ``matrix.T`` exactly (asserted by the tests for all
@@ -85,8 +90,10 @@ def distributed_transpose(
     >>> np.array_equal(distributed_transpose(a, 4, partition=(1, 1)), a.T)
     True
     """
+    if planner is not None and partition is not None:
+        raise ValueError("pass either a planner or an explicit partition, not both")
     matrix = np.asarray(matrix)
-    d = log2_exact(n_nodes)
+    log2_exact(n_nodes)
     strips = split_into_strips(matrix, n_nodes)
     size = matrix.shape[0]
     per = size // n_nodes
@@ -103,7 +110,10 @@ def distributed_transpose(
             rows[j] = np.ascontiguousarray(sub).view(np.uint8).reshape(-1)
         send_rows.append(rows)
 
-    recv_rows = run_exchange_on_rows(send_rows, partition)
+    if planner is not None:
+        recv_rows = run_planned_exchange_on_rows(send_rows, planner)
+    else:
+        recv_rows = run_exchange_on_rows(send_rows, partition)
 
     # Node x now holds sub-block (j, x) from every j; transpose each
     # sub-block locally and lay them out as the x-th strip of A^T.

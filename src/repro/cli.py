@@ -26,6 +26,14 @@ Commands
     (dimensions missing from a shard are swept on demand).
 ``query D M``
     One-shot optimizer query through the same service path.
+``plan D M``
+    Show the collective planner's decision for a ``(d, m)`` exchange
+    (or a §9 pattern with ``--pattern``) under a chosen policy, with
+    every scored candidate.
+``apps``
+    Run the application workloads end-to-end under a planning policy
+    (``--policy {fixed,model,service}``), payload-check them, and
+    print the predicted-vs-simulated validation report.
 ``demo``
     A one-minute tour: three algorithms, optimizer, simulation.
 
@@ -61,7 +69,9 @@ def _params(name: str):
 
 
 def _fmt(partition) -> str:
-    return "{" + ",".join(map(str, sorted(partition))) + "}"
+    from repro.plan.decision import format_partition
+
+    return format_partition(partition)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,6 +152,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--json", action="store_true", help="print the answer as JSON"
+    )
+
+    p_plan = sub.add_parser(
+        "plan", help="show the collective planner's decision for (d, m)"
+    )
+    p_plan.add_argument("d", type=int, help="cube dimension")
+    p_plan.add_argument("m", type=float, help="block size in bytes")
+    p_plan.add_argument(
+        "--policy", default="model", choices=("fixed", "model", "service"),
+        help="planning policy (default: model)",
+    )
+    p_plan.add_argument(
+        "--pattern", default="exchange",
+        choices=("exchange", "broadcast", "scatter", "allgather"),
+        help="collective to plan (default: the complete exchange)",
+    )
+    p_plan.add_argument(
+        "--shards", metavar="DIR",
+        help="back the service policy with a prebuilt shard directory",
+    )
+    p_plan.add_argument(
+        "--json", action="store_true", help="print the decision as JSON"
+    )
+
+    p_apps = sub.add_parser(
+        "apps", help="run the app workloads under a planning policy"
+    )
+    p_apps.add_argument(
+        "--policy", default="model", choices=("fixed", "model", "service"),
+        help="planning policy (default: model)",
+    )
+    p_apps.add_argument(
+        "--apps", nargs="+", metavar="APP", default=None,
+        help="subset of workloads (default: transpose fft2d lookup adi)",
+    )
+    p_apps.add_argument(
+        "--shards", metavar="DIR",
+        help="back the service policy with a prebuilt shard directory",
     )
 
     p_sim = sub.add_parser("simulate", help="run one verified simulated exchange")
@@ -359,6 +407,119 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _policy(args):
+    """Build the requested planning policy (shared by plan/apps)."""
+    from repro.plan import make_policy
+
+    params = _params(args.machine)
+    registry = None
+    if getattr(args, "shards", None):
+        # only the service policy answers from a registry; accepting
+        # --shards elsewhere would pay the load and silently ignore it
+        if args.policy != "service":
+            raise SystemExit(
+                f"--shards only applies to --policy service "
+                f"(got --policy {args.policy})"
+            )
+        registry = _registry(args.shards)
+    try:
+        return make_policy(
+            args.policy, params, preset=args.machine, registry=registry
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_plan(args) -> int:
+    from repro.model.cost import multiphase_time
+    from repro.plan import CollectivePlanner, plan_pattern
+
+    params = _params(args.machine)
+    planner = CollectivePlanner(_policy(args))
+    if args.pattern != "exchange":
+        decision = plan_pattern(args.pattern, args.m, args.d, params, planner=planner)
+        if args.json:
+            print(json.dumps({
+                "pattern": decision.pattern,
+                "d": decision.d,
+                "m": decision.m,
+                "machine": params.name,
+                "policy": planner.policy_name,
+                "algorithm": decision.algorithm,
+                "partition": list(decision.partition) if decision.partition else None,
+                "predicted_us": decision.predicted_us,
+                "candidates": [
+                    {"algorithm": name, "predicted_us": t}
+                    for name, t in decision.candidates
+                ],
+            }))
+            return 0
+        print(f"plan for {args.pattern}, d={args.d}, m={args.m:g} B on "
+              f"{params.name} (policy: {planner.policy_name})")
+        print(f"  chosen: {decision.algorithm}   predicted {decision.predicted_us:.1f} us")
+        print("  candidates:")
+        for name, t in decision.candidates:
+            marker = "  <-- chosen" if name == decision.algorithm else ""
+            print(f"    {name:10s} {t:12.1f} us{marker}")
+        return 0
+
+    decision = planner.decide(args.d, args.m)
+    # the fixed alternatives the paper compares against, always scored
+    candidates: list[tuple[str, tuple[int, ...] | None, float | None]] = [
+        ("standard", (1,) * args.d,
+         multiphase_time(args.m, args.d, (1,) * args.d, params)),
+        ("single-phase", (args.d,),
+         multiphase_time(args.m, args.d, (args.d,), params)),
+    ]
+    if decision.algorithm == "multiphase":
+        candidates.append(("multiphase", decision.partition, decision.predicted_us))
+    candidates.append(("naive", None, None))
+    if args.json:
+        print(json.dumps({
+            "pattern": "exchange",
+            "d": args.d,
+            "m": args.m,
+            "machine": params.name,
+            "policy": planner.policy_name,
+            "algorithm": decision.algorithm,
+            "partition": list(decision.partition) if decision.partition else None,
+            "predicted_us": decision.predicted_us,
+            "source": decision.source,
+            "candidates": [
+                {
+                    "algorithm": name,
+                    "partition": list(part) if part is not None else None,
+                    "predicted_us": t,
+                }
+                for name, part, t in candidates
+            ],
+        }))
+        return 0
+    print(f"plan for complete exchange, d={args.d}, m={args.m:g} B on "
+          f"{params.name} (policy: {planner.policy_name})")
+    print(f"  chosen: {decision.describe()}   [{decision.source}]")
+    print("  candidates:")
+    for name, part, t in candidates:
+        label = _fmt(part) if part is not None else "rotation"
+        time_str = f"{t:12.1f} us" if t is not None else "  (no analytic model)"
+        marker = "  <-- chosen" if name == decision.algorithm else ""
+        print(f"    {name:12s} {label:16s}{time_str}{marker}")
+    return 0
+
+
+def cmd_apps(args) -> int:
+    from repro.analysis.validation import validate_policy
+
+    params = _params(args.machine)
+    policy = _policy(args)
+    try:
+        report = validate_policy(policy, params=params, apps=args.apps)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(report.render())
+    return 0
+
+
 def cmd_demo(args) -> int:
     params = _params(args.machine)
     d, m = 7, 40
@@ -386,6 +547,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "shards": cmd_shards,
         "serve": cmd_serve,
         "query": cmd_query,
+        "plan": cmd_plan,
+        "apps": cmd_apps,
         "demo": cmd_demo,
     }[args.command]
     return handler(args)

@@ -3,15 +3,27 @@
 Glues the algorithm schedules of :mod:`repro.core` to the simulated
 machine of :mod:`repro.sim`, and offers an mpi4py-flavoured
 :class:`~repro.comm.communicator.Communicator` for writing SPMD node
-programs.
+programs.  Collectives accept a :class:`repro.plan.CollectivePlanner`
+so the algorithm (standard / multiphase / naive) is selected per
+``(d, m)`` at call time instead of being hardcoded.
 """
 
 from repro.comm.communicator import Communicator
-from repro.comm.program import SimulatedExchange, exchange_program, simulate_exchange
+from repro.comm.program import (
+    SimulatedExchange,
+    exchange_program,
+    naive_program,
+    simulate_exchange,
+    simulate_naive_exchange,
+    simulate_planned_exchange,
+)
 
 __all__ = [
     "Communicator",
     "SimulatedExchange",
     "exchange_program",
+    "naive_program",
     "simulate_exchange",
+    "simulate_naive_exchange",
+    "simulate_planned_exchange",
 ]

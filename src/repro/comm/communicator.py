@@ -24,7 +24,9 @@ import numpy as np
 
 from repro.core.blocks import BlockBuffer
 from repro.core.schedule import ExchangeStep, PhaseStart, ShuffleStep, multiphase_schedule
+from repro.plan.decision import algorithm_name
 from repro.sim.node import NodeContext
+from repro.sim.trace import PlanRecord
 from repro.util.validation import check_partition
 
 __all__ = ["Communicator"]
@@ -86,22 +88,72 @@ class Communicator:
         send_rows: np.ndarray,
         *,
         partition: Sequence[int] | None = None,
+        planner: Any | None = None,
+        algorithm: str | None = None,
         tag_base: int = 1 << 20,
     ) -> Generator:
         """Complete exchange of ``send_rows`` (``(n, m)`` uint8, row
-        ``j`` bound for rank ``j``) using the multiphase algorithm.
+        ``j`` bound for rank ``j``).
 
-        Returns the ``(n, m)`` receive array ordered by origin.  All
-        ranks must call with the same ``partition`` (defaults to the
-        single-phase Optimal Circuit-Switched algorithm).
+        Returns the ``(n, m)`` receive array ordered by origin.  The
+        algorithm is selected one of three ways, in precedence order:
+
+        * ``planner`` — a shared :class:`repro.plan.CollectivePlanner`
+          (any object with ``decide(d, m)``) chooses standard vs.
+          multiphase vs. naive per ``(d, m)`` at call time; the
+          decision is recorded in the simulator trace (once, by rank
+          0), and the planner's per-run cache guarantees all ranks
+          execute the same schedule;
+        * ``algorithm="naive"`` — the rotation-order baseline schedule,
+          exposed here so baseline runs need not bypass the comm layer;
+        * ``partition`` — an explicit multiphase partition (defaults to
+          the single-phase Optimal Circuit-Switched algorithm).
+
+        All ranks must agree on the selection inputs.
         """
         ctx = self.ctx
         d, n = ctx.d, ctx.n
-        parts = check_partition(partition if partition is not None else (d,), d)
         rows = np.ascontiguousarray(send_rows, dtype=np.uint8)
         if rows.ndim != 2 or rows.shape[0] != n:
             raise ValueError(f"rank {ctx.rank}: expected ({n}, m) send rows, got {rows.shape}")
         m = rows.shape[1]
+        if planner is not None:
+            if partition is not None or algorithm is not None:
+                raise ValueError(
+                    "pass either a planner or an explicit partition/algorithm, not both"
+                )
+            decision = planner.decide(d, m)
+            if ctx.rank == 0:
+                ctx.machine.trace.record_plan(
+                    PlanRecord.from_decision(decision, t_decided=ctx.now)
+                )
+            algorithm = decision.algorithm
+            partition = decision.partition
+        if algorithm == "naive":
+            if partition is not None:
+                raise ValueError("the naive baseline has no partition")
+            result = yield from self._naive_alltoall(rows, tag_base=tag_base)
+            return result
+        if algorithm is not None:
+            # a named algorithm determines (or constrains) the partition
+            if algorithm == "standard":
+                partition = (1,) * d if partition is None else partition
+            elif algorithm == "single-phase":
+                partition = (d,) if partition is None else partition
+            elif algorithm == "multiphase":
+                if partition is None:
+                    raise ValueError(
+                        "algorithm='multiphase' needs an explicit partition "
+                        "(or use a planner to choose one)"
+                    )
+            else:
+                raise ValueError(f"unknown algorithm {algorithm!r} for Alltoall")
+            if algorithm_name(tuple(partition)) != algorithm:
+                raise ValueError(
+                    f"partition {tuple(partition)} realizes "
+                    f"{algorithm_name(tuple(partition))!r}, not {algorithm!r}"
+                )
+        parts = check_partition(partition if partition is not None else (d,), d)
         buf = BlockBuffer.from_rows(ctx.rank, d, rows)
         total_bytes = m * n
         steps = multiphase_schedule(d, parts)
@@ -119,4 +171,13 @@ class Communicator:
                 buf.insert(received)
             elif isinstance(step, ShuffleStep):
                 yield ctx.shuffle(total_bytes)
+        return buf.result_rows()
+
+    def _naive_alltoall(self, rows: np.ndarray, *, tag_base: int) -> Generator:
+        """Rotation-order exchange of user rows — the contended §2
+        baseline, reachable as a policy target.  One shared schedule
+        implementation: :func:`repro.comm.program.naive_program`."""
+        from repro.comm.program import naive_program
+
+        buf = yield from naive_program(self.ctx, rows=rows, tag_base=tag_base)
         return buf.result_rows()

@@ -21,7 +21,7 @@ Implementation notes mirroring paper §7:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Sequence
+from typing import Any, Generator, Sequence
 
 from repro.core.blocks import BlockBuffer
 from repro.core.schedule import ExchangeStep, PhaseStart, ShuffleStep, Step, multiphase_schedule
@@ -29,7 +29,7 @@ from repro.core.shuffle import LayoutBuffer
 from repro.model.params import MachineParams
 from repro.sim.machine import RunResult, SimulatedHypercube
 from repro.sim.node import NodeContext
-from repro.sim.trace import Trace
+from repro.sim.trace import PlanRecord, Trace
 from repro.util.validation import check_dimension, check_partition
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "naive_program",
     "simulate_exchange",
     "simulate_naive_exchange",
+    "simulate_planned_exchange",
 ]
 
 
@@ -101,6 +102,9 @@ class SimulatedExchange:
     time_us: float
     trace: Trace
     run: RunResult
+    #: the planner decision behind this run, when a planner chose the
+    #: algorithm (``None`` for directly requested partitions)
+    decision: Any = None
 
     @property
     def time_s(self) -> float:
@@ -153,10 +157,69 @@ def simulate_exchange(
     return result
 
 
+def simulate_planned_exchange(
+    d: int,
+    m: int,
+    planner,
+    params: MachineParams,
+    *,
+    engine: str = "tags",
+    verify: bool = True,
+) -> SimulatedExchange:
+    """Run one complete exchange with the algorithm chosen by a planner.
+
+    ``planner`` is any object with ``decide(d, m) -> PlanDecision``
+    (normally :class:`repro.plan.CollectivePlanner`).  The decision —
+    standard, multiphase, single-phase, or the naive rotation baseline
+    — is recorded in the run's trace (``trace.plan_decisions``) and
+    attached to the result, so a measured time can always be traced
+    back to why that algorithm ran.
+
+    >>> from repro.model.params import ipsc860
+    >>> from repro.plan import CollectivePlanner, ModelPolicy
+    >>> planner = CollectivePlanner(ModelPolicy(ipsc860()))
+    >>> result = simulate_planned_exchange(3, 16, planner, ipsc860())
+    >>> result.decision.partition == result.partition
+    True
+    >>> len(result.trace.plan_decisions)
+    1
+    """
+    check_dimension(d, minimum=1)
+    decision = planner.decide(d, m)
+    machine = SimulatedHypercube(d, params)
+    machine.trace.record_plan(PlanRecord.from_decision(decision))
+    if decision.algorithm == "naive":
+        run = machine.run(naive_program, m=m)
+        partition: tuple[int, ...] = ()
+    else:
+        partition = check_partition(decision.partition, d)
+        steps = multiphase_schedule(d, partition)
+        run = machine.run(exchange_program, steps=steps, m=m, engine=engine)
+    result = SimulatedExchange(
+        d=d,
+        m=m,
+        partition=partition,
+        params_name=params.name,
+        time_us=run.time,
+        trace=run.trace,
+        run=run,
+        decision=decision,
+    )
+    if verify:
+        result.verify()
+    return result
+
+
 # ----------------------------------------------------------------------
 # negative control: a naive, contention-oblivious schedule
 # ----------------------------------------------------------------------
-def naive_program(ctx: NodeContext, *, m: int) -> Generator:
+def naive_program(
+    ctx: NodeContext,
+    *,
+    m: int | None = None,
+    rows=None,
+    tag_base: int = 0,
+) -> Generator:
     """Rotation-order all-to-all that ignores the machine's idiosyncrasies.
 
     Step ``s`` sends this node's block to ``(rank + s) mod n`` — the
@@ -169,14 +232,23 @@ def naive_program(ctx: NodeContext, *, m: int) -> Generator:
     programmers ignore the network.
 
     Correct (byte-verified) but slow; compare against the XOR schedule
-    at identical message count and volume.
+    at identical message count and volume.  Pass ``m`` for pattern
+    payloads, or ``rows`` (``(n, m)`` uint8, row ``j`` bound for rank
+    ``j``) to exchange user data — this is the one implementation of
+    the naive schedule, shared by ``simulate_naive_exchange`` and
+    ``Communicator.Alltoall(algorithm="naive")``.
     """
-    buf = BlockBuffer.initial(ctx.rank, ctx.d, m)
+    if (m is None) == (rows is None):
+        raise ValueError("pass exactly one of m (pattern payload) or rows (user data)")
+    if rows is not None:
+        buf = BlockBuffer.from_rows(ctx.rank, ctx.d, rows)
+    else:
+        buf = BlockBuffer.initial(ctx.rank, ctx.d, m)
     n = ctx.n
     # FORCED discipline: post every receive, then synchronize (§7.3).
     for s in range(1, n):
         src = (ctx.rank - s) % n
-        yield ctx.post_recv(src, tag=s)
+        yield ctx.post_recv(src, tag=tag_base + s)
     yield ctx.barrier()
     from repro.hypercube.subcube import BitGroup
 
@@ -184,10 +256,10 @@ def naive_program(ctx: NodeContext, *, m: int) -> Generator:
     for s in range(1, n):
         dst = (ctx.rank + s) % n
         outgoing = buf.extract_for_coordinate(whole, dst)
-        yield ctx.send(dst, outgoing, outgoing.nbytes, tag=s, forced=True)
+        yield ctx.send(dst, outgoing, outgoing.nbytes, tag=tag_base + s, forced=True)
     for s in range(1, n):
         src = (ctx.rank - s) % n
-        received = yield ctx.recv(src, tag=s)
+        received = yield ctx.recv(src, tag=tag_base + s)
         buf.insert(received)
     return buf
 

@@ -7,7 +7,13 @@ partition enumeration.
 """
 
 from repro.core.blocks import BlockBuffer, BlockSet, payload_pattern
-from repro.core.exchange import ExchangeOutcome, run_exchange, run_exchange_on_rows
+from repro.core.exchange import (
+    ExchangeOutcome,
+    run_exchange,
+    run_exchange_on_rows,
+    run_naive_exchange_on_rows,
+    run_planned_exchange_on_rows,
+)
 from repro.core.multiphase import (
     effective_block_size,
     multiphase_exchange,
@@ -83,6 +89,8 @@ __all__ = [
     "payload_pattern",
     "run_exchange",
     "run_exchange_on_rows",
+    "run_naive_exchange_on_rows",
+    "run_planned_exchange_on_rows",
     "schedule_circuits",
     "schedule_stats",
     "shuffle_permutation",

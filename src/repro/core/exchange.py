@@ -37,7 +37,13 @@ from repro.core.schedule import (
 from repro.core.shuffle import LayoutBuffer
 from repro.util.validation import check_dimension, check_partition
 
-__all__ = ["ExchangeOutcome", "run_exchange", "run_exchange_on_rows"]
+__all__ = [
+    "ExchangeOutcome",
+    "run_exchange",
+    "run_exchange_on_rows",
+    "run_naive_exchange_on_rows",
+    "run_planned_exchange_on_rows",
+]
 
 Engine = Literal["tags", "layout"]
 
@@ -142,19 +148,21 @@ def run_exchange_on_rows(
     equal to ``send_rows[j][x]`` — the defining equation of the complete
     exchange (and of the block matrix transpose, Figure 2).
     """
-    rows = [np.ascontiguousarray(r, dtype=np.uint8) for r in send_rows]
-    n = len(rows)
-    if n == 0 or (n & (n - 1)):
-        raise ValueError(f"number of nodes must be a power of two, got {n}")
-    d = n.bit_length() - 1
+    rows, d = _normalize_rows(send_rows)
     if d == 0:
         return [rows[0].copy()]
+    return _rows_exchange(rows, d, partition, engine)
+
+
+def _rows_exchange(
+    rows: list[np.ndarray],
+    d: int,
+    partition: Sequence[int] | None,
+    engine: Engine,
+) -> list[np.ndarray]:
+    """Multiphase exchange of already-normalized rows (``d >= 1``)."""
+    n = len(rows)
     parts = check_partition(partition if partition is not None else (d,), d)
-    for x, r in enumerate(rows):
-        if r.ndim != 2 or r.shape[0] != n:
-            raise ValueError(f"node {x}: expected ({n}, m) send rows, got {r.shape}")
-        if r.shape[1] != rows[0].shape[1]:
-            raise ValueError("all nodes must use the same block size")
     steps = multiphase_schedule(d, parts)
     if engine == "tags":
         buffers: list = [BlockBuffer.from_rows(x, d, rows[x]) for x in range(n)]
@@ -165,6 +173,80 @@ def run_exchange_on_rows(
     outcome = _execute(steps, buffers, d, engine, record_trace=False)
     outcome.verify(check_payload=False)
     return [outcome.result_rows(x) for x in range(n)]
+
+
+def _normalize_rows(send_rows: Sequence[np.ndarray] | np.ndarray) -> tuple[list[np.ndarray], int]:
+    """Validate user send rows; returns ``(rows, d)``."""
+    rows = [np.ascontiguousarray(r, dtype=np.uint8) for r in send_rows]
+    n = len(rows)
+    if n == 0 or (n & (n - 1)):
+        raise ValueError(f"number of nodes must be a power of two, got {n}")
+    d = n.bit_length() - 1
+    for x, r in enumerate(rows):
+        if r.ndim != 2 or r.shape[0] != n:
+            raise ValueError(f"node {x}: expected ({n}, m) send rows, got {r.shape}")
+        if r.shape[1] != rows[0].shape[1]:
+            raise ValueError("all nodes must use the same block size")
+    return rows, d
+
+
+def run_naive_exchange_on_rows(
+    send_rows: Sequence[np.ndarray] | np.ndarray,
+) -> list[np.ndarray]:
+    """Complete exchange of user data along the naive rotation schedule.
+
+    Step ``s`` moves node ``x``'s block for ``(x + s) mod n`` — the
+    textbook crossbar order of :func:`repro.comm.program.naive_program`,
+    executed in lockstep on real bytes.  Data-wise the result equals
+    :func:`run_exchange_on_rows` (any correct exchange must agree); the
+    schedule only differs in *time* on the simulated machine, which is
+    the point of keeping it as a baseline policy target.
+    """
+    rows, d = _normalize_rows(send_rows)
+    if d == 0:
+        return [rows[0].copy()]
+    return _naive_rows_exchange(rows, d)
+
+
+def _naive_rows_exchange(rows: list[np.ndarray], d: int) -> list[np.ndarray]:
+    """Rotation-order exchange of already-normalized rows (``d >= 1``)."""
+    from repro.hypercube.subcube import BitGroup
+
+    n = 1 << d
+    buffers = [BlockBuffer.from_rows(x, d, rows[x]) for x in range(n)]
+    whole = BitGroup(lo=0, width=d)
+    for s in range(1, n):
+        extracted = {
+            x: buffers[x].extract_for_coordinate(whole, (x + s) % n) for x in range(n)
+        }
+        for x in range(n):
+            buffers[x].insert(extracted[(x - s) % n])
+    for buf in buffers:
+        buf.verify_complete_exchange_result(check_payload=False)
+    return [buffers[x].result_rows() for x in range(n)]
+
+
+def run_planned_exchange_on_rows(
+    send_rows: Sequence[np.ndarray] | np.ndarray,
+    planner,
+    *,
+    engine: Engine = "tags",
+) -> list[np.ndarray]:
+    """Complete exchange of user data, algorithm chosen by a planner.
+
+    ``planner`` is any object with a ``decide(d, m) -> PlanDecision``
+    method (normally :class:`repro.plan.CollectivePlanner`); the
+    decision selects the naive rotation baseline or a multiphase
+    partition per ``(d, m)`` at call time.  This is the data-layer
+    entry point the apps route through.
+    """
+    rows, d = _normalize_rows(send_rows)
+    if d == 0:
+        return [rows[0].copy()]
+    decision = planner.decide(d, rows[0].shape[1])
+    if decision.algorithm == "naive":
+        return _naive_rows_exchange(rows, d)
+    return _rows_exchange(rows, d, decision.partition, engine)
 
 
 # ----------------------------------------------------------------------

@@ -10,8 +10,18 @@ circuits the way the paper's optimal exchange does, and verifies the
 upper-bound relationship.
 """
 
-from repro.patterns.allgather import allgather, allgather_time, simulate_allgather
-from repro.patterns.broadcast import broadcast, broadcast_time, simulate_broadcast
+from repro.patterns.allgather import (
+    allgather,
+    allgather_exchange_time,
+    allgather_time,
+    simulate_allgather,
+)
+from repro.patterns.broadcast import (
+    broadcast,
+    broadcast_direct_time,
+    broadcast_time,
+    simulate_broadcast,
+)
 from repro.patterns.scatter import (
     scatter,
     scatter_direct_time,
@@ -21,8 +31,10 @@ from repro.patterns.scatter import (
 
 __all__ = [
     "allgather",
+    "allgather_exchange_time",
     "allgather_time",
     "broadcast",
+    "broadcast_direct_time",
     "broadcast_time",
     "scatter",
     "scatter_direct_time",

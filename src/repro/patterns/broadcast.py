@@ -21,9 +21,17 @@ import numpy as np
 from repro.model.params import MachineParams
 from repro.sim.machine import RunResult, SimulatedHypercube
 from repro.sim.node import NodeContext
+from repro.util.bitops import popcount
 from repro.util.validation import check_dimension, check_node
 
-__all__ = ["broadcast", "broadcast_time", "broadcast_program", "simulate_broadcast"]
+__all__ = [
+    "broadcast",
+    "broadcast_direct_program",
+    "broadcast_direct_time",
+    "broadcast_program",
+    "broadcast_time",
+    "simulate_broadcast",
+]
 
 
 def broadcast(message: np.ndarray, root: int, d: int) -> list[np.ndarray]:
@@ -63,6 +71,40 @@ def broadcast_time(m: float, d: int, params: MachineParams) -> float:
     )
 
 
+def broadcast_direct_time(m: float, d: int, params: MachineParams) -> float:
+    """Direct-circuit broadcast: the root sends the whole message to
+    every node in turn, serialized at its port:
+    ``Σ_{i=1..n-1} (λ + τ·m + δ·popcount(i))`` plus global sync.
+
+    The binomial tree always wins on this model (``d`` startups versus
+    ``2**d - 1``); keeping the loser scored makes the planner's
+    selection checkable rather than assumed.
+    """
+    check_dimension(d)
+    n = 1 << d
+    startups = (n - 1) * (params.latency + params.byte_time * m)
+    distance = params.hop_time * sum(popcount(i) for i in range(1, n))
+    return startups + distance + params.global_sync_time(d)
+
+
+def broadcast_direct_program(
+    ctx: NodeContext, *, message: np.ndarray | None, root: int
+) -> Generator:
+    """SPMD program for the direct-circuit broadcast (FORCED
+    discipline): every non-root posts one receive from the root, the
+    root sends the full message to each node in turn."""
+    if ctx.rank != root:
+        yield ctx.post_recv(root, tag=0)
+    yield ctx.barrier()
+    if ctx.rank == root:
+        for dst in range(ctx.n):
+            if dst != root:
+                yield ctx.send(dst, message, int(np.asarray(message).nbytes), tag=0)
+        return message
+    data = yield ctx.recv(root, tag=0)
+    return data
+
+
 def broadcast_program(ctx: NodeContext, *, message: np.ndarray | None, root: int) -> Generator:
     """SPMD node program for the binomial broadcast.
 
@@ -89,18 +131,31 @@ def broadcast_program(ctx: NodeContext, *, message: np.ndarray | None, root: int
 
 
 def simulate_broadcast(
-    d: int, m: int, params: MachineParams, *, root: int = 0
+    d: int, m: int, params: MachineParams, *, root: int = 0, algorithm: str = "binomial"
 ) -> tuple[float, RunResult]:
-    """Measure the binomial broadcast on the simulated machine.
+    """Measure a broadcast algorithm on the simulated machine.
 
-    Returns ``(virtual_time_us, run_result)``; every node's payload is
+    ``algorithm`` is ``"binomial"`` (subcube doubling), ``"direct"``
+    (root circuits to every node), or ``"auto"`` (model-selected via
+    :func:`repro.plan.plan_pattern`).  Returns
+    ``(virtual_time_us, run_result)``; every node's payload is
     verified equal to the root's message.
     """
     check_dimension(d)
     check_node(root, d)
+    if algorithm == "auto":
+        from repro.plan.patterns import plan_pattern
+
+        algorithm = plan_pattern("broadcast", float(m), d, params).algorithm
+    programs = {"binomial": broadcast_program, "direct": broadcast_direct_program}
+    if algorithm not in programs:
+        raise ValueError(
+            f"unknown broadcast algorithm {algorithm!r}; "
+            f"expected 'binomial', 'direct', or 'auto'"
+        )
     message = np.arange(m, dtype=np.int64).astype(np.uint8)
     machine = SimulatedHypercube(d, params)
-    run = machine.run(broadcast_program, message=message, root=root)
+    run = machine.run(programs[algorithm], message=message, root=root)
 
     def as_array(x):
         return np.asarray(x, dtype=np.uint8)

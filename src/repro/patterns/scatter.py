@@ -33,6 +33,7 @@ from repro.util.validation import check_dimension, check_node
 
 __all__ = [
     "scatter",
+    "scatter_direct_program",
     "scatter_direct_time",
     "scatter_program",
     "scatter_time",
@@ -144,17 +145,51 @@ def scatter_program(ctx: NodeContext, *, blocks: np.ndarray | None, root: int) -
     return mine[ctx.rank]
 
 
+def scatter_direct_program(
+    ctx: NodeContext, *, blocks: np.ndarray | None, root: int
+) -> Generator:
+    """SPMD program for the direct-circuit scatter: the root opens a
+    circuit to every node in turn and sends just that node's block
+    (no store-and-forward buffering at intermediate nodes)."""
+    if ctx.rank != root:
+        yield ctx.post_recv(root, tag=0)
+    yield ctx.barrier()
+    if ctx.rank == root:
+        mine = np.asarray(blocks)
+        for dst in range(ctx.n):
+            if dst != root:
+                yield ctx.send(dst, mine[dst], int(mine[dst].nbytes), tag=0)
+        return mine[root]
+    block = yield ctx.recv(root, tag=0)
+    return block
+
+
 def simulate_scatter(
-    d: int, m: int, params: MachineParams, *, root: int = 0
+    d: int, m: int, params: MachineParams, *, root: int = 0, algorithm: str = "halving"
 ) -> tuple[float, RunResult]:
-    """Measure the recursive-halving scatter; blocks byte-verified."""
+    """Measure a scatter algorithm; blocks byte-verified.
+
+    ``algorithm`` is ``"halving"`` (recursive halving down the
+    binomial tree), ``"direct"`` (root circuits), or ``"auto"``
+    (model-selected via :func:`repro.plan.plan_pattern`).
+    """
     check_dimension(d)
     check_node(root, d)
+    if algorithm == "auto":
+        from repro.plan.patterns import plan_pattern
+
+        algorithm = plan_pattern("scatter", float(m), d, params).algorithm
+    programs = {"halving": scatter_program, "direct": scatter_direct_program}
+    if algorithm not in programs:
+        raise ValueError(
+            f"unknown scatter algorithm {algorithm!r}; "
+            f"expected 'halving', 'direct', or 'auto'"
+        )
     n = 1 << d
     rng = np.random.default_rng(12345)
     blocks = rng.integers(0, 256, size=(n, m), dtype=np.uint8)
     machine = SimulatedHypercube(d, params)
-    run = machine.run(scatter_program, blocks=blocks, root=root)
+    run = machine.run(programs[algorithm], blocks=blocks, root=root)
     for rank, got in enumerate(run.node_results):
         assert np.array_equal(np.asarray(got, dtype=np.uint8), blocks[rank]), (
             f"node {rank} received the wrong block"

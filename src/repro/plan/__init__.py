@@ -1,0 +1,55 @@
+"""Optimizer-guided collective planning.
+
+The paper's conclusion — no single complete-exchange algorithm wins
+everywhere; the right choice depends on ``(d, m)`` — becomes a runtime
+subsystem here.  A :class:`~repro.plan.planner.CollectivePlanner`
+holds one pluggable policy:
+
+:class:`~repro.plan.policies.FixedPolicy`
+    the pre-planner behaviour (a hardcoded partition, or the naive
+    rotation baseline), kept as an expressible policy;
+:class:`~repro.plan.policies.ModelPolicy`
+    inline argmin over the candidate pool via the vectorized cost
+    model;
+:class:`~repro.plan.policies.ServicePolicy`
+    answers from an in-process
+    :class:`~repro.service.registry.OptimizerRegistry` (shard-backed
+    stored tables, result memo, coalesced grid calls).
+
+Every layer that performs a collective routes through the planner:
+``Communicator.Alltoall`` and the simulated exchange programs, all
+four apps, and — via :func:`~repro.plan.patterns.plan_pattern` — the
+broadcast/scatter/allgather patterns.  Decisions are cached per run,
+logged for the predicted-vs-simulated validation report
+(:mod:`repro.analysis.validation`), and recorded in the simulator
+trace.
+"""
+
+from repro.plan.decision import ALGORITHMS, PlanDecision, algorithm_name, format_partition
+from repro.plan.patterns import PATTERNS, PatternDecision, pattern_candidates, plan_pattern
+from repro.plan.planner import CollectivePlanner, PlannerStats
+from repro.plan.policies import (
+    FixedPolicy,
+    ModelPolicy,
+    PlanningPolicy,
+    ServicePolicy,
+    make_policy,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "CollectivePlanner",
+    "FixedPolicy",
+    "ModelPolicy",
+    "PATTERNS",
+    "PatternDecision",
+    "PlanDecision",
+    "PlannerStats",
+    "PlanningPolicy",
+    "ServicePolicy",
+    "algorithm_name",
+    "format_partition",
+    "make_policy",
+    "pattern_candidates",
+    "plan_pattern",
+]

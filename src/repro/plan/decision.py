@@ -1,0 +1,119 @@
+"""The unit of planning: one algorithm choice for one collective.
+
+A :class:`PlanDecision` names which complete-exchange algorithm a
+``(d, m)`` collective should run — the paper's point being that no
+single algorithm wins everywhere — together with the partition that
+realizes it, the model's predicted time, and where the answer came
+from (which policy, and whether the planner's per-run cache served
+it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ALGORITHMS", "PlanDecision", "algorithm_name", "format_partition"]
+
+
+def format_partition(partition: Sequence[int]) -> str:
+    """The paper's set notation for a partition: ``{3,4}``.
+
+    The one shared renderer for everything that prints partitions
+    (decisions, validation rows, the CLI).
+
+    >>> format_partition((4, 3))
+    '{3,4}'
+    """
+    return "{" + ",".join(map(str, sorted(partition))) + "}"
+
+#: the algorithm families a decision can select
+ALGORITHMS = ("standard", "single-phase", "multiphase", "naive")
+
+
+def algorithm_name(partition: Sequence[int] | None) -> str:
+    """The paper's name for the algorithm a partition realizes.
+
+    ``(1,)*d`` is the Standard Exchange, ``(d,)`` the single-phase
+    Optimal Circuit-Switched algorithm, everything else a proper
+    multiphase schedule; ``None`` is the rotation-order naive baseline
+    (no partition, no analytic model).
+
+    >>> algorithm_name((1, 1, 1))
+    'standard'
+    >>> algorithm_name((5,))
+    'single-phase'
+    >>> algorithm_name((3, 2))
+    'multiphase'
+    >>> algorithm_name(None)
+    'naive'
+    """
+    if partition is None:
+        return "naive"
+    parts = tuple(partition)
+    if not parts:
+        raise ValueError("empty partition names no algorithm")
+    if all(p == 1 for p in parts):
+        return "standard"
+    if len(parts) == 1:
+        return "single-phase"
+    return "multiphase"
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One resolved collective-planning query.
+
+    Attributes
+    ----------
+    d, m:
+        The collective's cube dimension and per-pair block size (bytes).
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    partition:
+        The multiphase partition realizing the algorithm, or ``None``
+        for the naive baseline.
+    predicted_us:
+        The analytic model's time for the choice (``None`` when the
+        algorithm has no model, i.e. naive).
+    policy:
+        Name of the policy that produced the decision.
+    source:
+        ``"policy"`` for a fresh policy evaluation, ``"cache"`` when
+        the planner's per-run cache served a repeat ``(d, m)``;
+        service-backed policies refine it to ``"service:<origin>"``
+        (memo/grid/pool).
+    ranking:
+        Optional full candidate ranking ``((partition, time), ...)``
+        when the policy evaluated one (the model policy does).
+    """
+
+    d: int
+    m: float
+    algorithm: str
+    partition: tuple[int, ...] | None
+    predicted_us: float | None
+    policy: str
+    source: str = "policy"
+    ranking: tuple[tuple[tuple[int, ...], float], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if (self.partition is None) != (self.algorithm == "naive"):
+            raise ValueError(
+                f"algorithm {self.algorithm!r} is inconsistent with "
+                f"partition {self.partition!r}"
+            )
+
+    def describe(self) -> str:
+        """One-line human rendering (used by ``repro plan``)."""
+        part = format_partition(self.partition) if self.partition is not None else "rotation"
+        predicted = (
+            f"predicted {self.predicted_us:.1f} us"
+            if self.predicted_us is not None
+            else "no analytic model"
+        )
+        return f"{self.algorithm} {part}   {predicted}"

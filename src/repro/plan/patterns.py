@@ -1,0 +1,121 @@
+"""Algorithm selection for the §9 collective patterns.
+
+The complete exchange is not the only collective with competing
+algorithms: broadcast can run the binomial tree or direct root
+circuits, scatter recursive halving or direct circuits, allgather
+recursive doubling or a planner-partitioned complete exchange.
+:func:`plan_pattern` scores each pattern's candidates with the
+analytic model and picks the winner at ``(d, m)`` — the same
+optimizer-guided selection the exchange gets, applied across the
+patterns layer.
+
+For allgather's exchange-based candidate the partition comes from the
+collective planner when one is supplied (closing the loop: the §6
+optimizer prices the pattern), otherwise from a direct model argmin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.cost import multiphase_time
+from repro.model.params import MachineParams
+from repro.plan.planner import CollectivePlanner
+from repro.util.validation import check_block_size, check_dimension
+
+__all__ = ["PATTERNS", "PatternDecision", "pattern_candidates", "plan_pattern"]
+
+#: patterns the planner can select algorithms for
+PATTERNS = ("broadcast", "scatter", "allgather")
+
+
+@dataclass(frozen=True)
+class PatternDecision:
+    """The chosen algorithm for one pattern at one ``(d, m)``."""
+
+    pattern: str
+    d: int
+    m: float
+    algorithm: str
+    predicted_us: float
+    #: partition backing an exchange-based algorithm (``None`` otherwise)
+    partition: tuple[int, ...] | None
+    #: every scored candidate, ``(name, predicted_us)``, best first
+    candidates: tuple[tuple[str, float], ...]
+
+
+def pattern_candidates(
+    pattern: str,
+    m: float,
+    d: int,
+    params: MachineParams,
+    *,
+    planner: CollectivePlanner | None = None,
+) -> list[tuple[str, float, tuple[int, ...] | None]]:
+    """Model every algorithm candidate for ``pattern`` at ``(d, m)``.
+
+    Returns ``(name, predicted_us, partition)`` triples (partition is
+    ``None`` for algorithms that are not exchange-based).
+    """
+    from repro.patterns.allgather import allgather_time
+    from repro.patterns.broadcast import broadcast_direct_time, broadcast_time
+    from repro.patterns.scatter import scatter_direct_time, scatter_time
+
+    check_dimension(d, minimum=1)
+    m = check_block_size(m)
+    if pattern == "broadcast":
+        return [
+            ("binomial", broadcast_time(m, d, params), None),
+            ("direct", broadcast_direct_time(m, d, params), None),
+        ]
+    if pattern == "scatter":
+        return [
+            ("halving", scatter_time(m, d, params), None),
+            ("direct", scatter_direct_time(m, d, params), None),
+        ]
+    if pattern == "allgather":
+        if planner is not None:
+            decision = planner.decide(d, m)
+            if decision.partition is None:
+                # the planner chose the naive rotation schedule, which
+                # has no analytic model — an 'exchange' candidate here
+                # would be priced as an algorithm that would not run
+                return [("doubling", allgather_time(m, d, params), None)]
+            partition = decision.partition
+        else:
+            from repro.model.optimizer import best_partition
+
+            partition = best_partition(m, d, params).partition
+        return [
+            ("doubling", allgather_time(m, d, params), None),
+            ("exchange", multiphase_time(m, d, partition, params), partition),
+        ]
+    raise ValueError(f"unknown pattern {pattern!r}; expected one of {PATTERNS}")
+
+
+def plan_pattern(
+    pattern: str,
+    m: float,
+    d: int,
+    params: MachineParams,
+    *,
+    planner: CollectivePlanner | None = None,
+) -> PatternDecision:
+    """The model-optimal algorithm for ``pattern`` at ``(d, m)``.
+
+    >>> from repro.model.params import ipsc860
+    >>> plan_pattern("scatter", 40.0, 5, ipsc860()).algorithm
+    'halving'
+    """
+    scored = pattern_candidates(pattern, m, d, params, planner=planner)
+    scored.sort(key=lambda item: (item[1], item[0]))
+    name, time, partition = scored[0]
+    return PatternDecision(
+        pattern=pattern,
+        d=int(d),
+        m=check_block_size(m),
+        algorithm=name,
+        predicted_us=time,
+        partition=partition,
+        candidates=tuple((n, t) for n, t, _ in scored),
+    )

@@ -1,0 +1,175 @@
+"""Pluggable planning policies.
+
+A *policy* answers one question — "which algorithm should this
+``(d, m)`` collective run?" — three ways:
+
+* :class:`FixedPolicy` always returns the same configured choice (a
+  partition, or the naive rotation baseline) — the hardcoded behaviour
+  every call site had before the planner existed, now expressible as a
+  policy so baselines stay runnable through the same code path;
+* :class:`ModelPolicy` scores the full candidate-partition pool with
+  the vectorized cost model and returns the argmin (the §6 optimizer,
+  evaluated inline);
+* :class:`ServicePolicy` asks an in-process
+  :class:`~repro.service.registry.OptimizerRegistry` — shard-backed
+  stored tables, result memo, batched grid calls — the "stored for
+  repeated future use" answer.
+
+``ModelPolicy`` and ``ServicePolicy`` agree bitwise on the chosen
+partition and predicted time away from table switch points (asserted
+across presets and dimensions by the property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.model.optimizer import best_partition
+from repro.model.params import MachineParams
+from repro.plan.decision import PlanDecision, algorithm_name
+from repro.util.validation import check_block_size, check_dimension, check_partition
+
+__all__ = ["FixedPolicy", "ModelPolicy", "PlanningPolicy", "ServicePolicy", "make_policy"]
+
+
+@runtime_checkable
+class PlanningPolicy(Protocol):
+    """What a planner needs from a policy."""
+
+    name: str
+
+    def decide(self, d: int, m: float) -> PlanDecision:  # pragma: no cover - protocol
+        ...
+
+
+class FixedPolicy:
+    """Always the same choice: a fixed partition or the naive baseline.
+
+    ``partition=None`` (the default) selects the single-phase Optimal
+    Circuit-Switched algorithm ``(d,)`` — the partition the comm layer
+    used to hardcode.  ``naive=True`` selects the rotation-order
+    baseline instead.  When ``params`` is given, partition choices are
+    priced by the analytic model so validation reports can compare
+    prediction against simulation.
+
+    >>> FixedPolicy(naive=True).decide(3, 16.0).algorithm
+    'naive'
+    >>> FixedPolicy().decide(3, 16.0).partition
+    (3,)
+    """
+
+    def __init__(
+        self,
+        partition: Sequence[int] | None = None,
+        *,
+        naive: bool = False,
+        params: MachineParams | None = None,
+    ) -> None:
+        if naive and partition is not None:
+            raise ValueError("the naive baseline has no partition; pass one or the other")
+        self.partition = tuple(int(p) for p in partition) if partition is not None else None
+        self.naive = naive
+        self.params = params
+        self.name = "fixed:naive" if naive else "fixed"
+
+    def decide(self, d: int, m: float) -> PlanDecision:
+        check_dimension(d, minimum=1)
+        m = check_block_size(m)
+        if self.naive:
+            return PlanDecision(
+                d=d, m=m, algorithm="naive", partition=None,
+                predicted_us=None, policy=self.name,
+            )
+        partition = check_partition(self.partition if self.partition is not None else (d,), d)
+        predicted = None
+        if self.params is not None:
+            from repro.model.cost import multiphase_time
+
+            predicted = multiphase_time(m, d, partition, self.params)
+        return PlanDecision(
+            d=d, m=m, algorithm=algorithm_name(partition), partition=partition,
+            predicted_us=predicted, policy=self.name,
+        )
+
+
+class ModelPolicy:
+    """Score every candidate partition with the vectorized cost model.
+
+    >>> from repro.model.params import ipsc860
+    >>> ModelPolicy(ipsc860()).decide(7, 40.0).partition
+    (4, 3)
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        *,
+        candidates: Iterable[tuple[int, ...]] | None = None,
+    ) -> None:
+        self.params = params
+        self.candidates = tuple(candidates) if candidates is not None else None
+        self.name = "model"
+
+    def decide(self, d: int, m: float) -> PlanDecision:
+        choice = best_partition(float(m), int(d), self.params, candidates=self.candidates)
+        return PlanDecision(
+            d=int(d), m=float(choice.m), algorithm=algorithm_name(choice.partition),
+            partition=choice.partition, predicted_us=choice.time, policy=self.name,
+            ranking=choice.ranking,
+        )
+
+
+class ServicePolicy:
+    """Answer from an in-process optimizer query service.
+
+    Lookups go through :func:`repro.service.batch.resolve_queries`, so
+    they ride the registry's shard-backed stored tables, result memo,
+    and coalesced grid calls; the decision's ``source`` records which
+    of those actually served the answer (``service:memo`` /
+    ``service:grid`` / ``service:pool``).
+
+    >>> from repro.service import OptimizerRegistry
+    >>> policy = ServicePolicy(OptimizerRegistry(), preset="ipsc860")
+    >>> policy.decide(7, 40.0).partition
+    (4, 3)
+    """
+
+    def __init__(self, registry=None, *, preset: str = "ipsc860") -> None:
+        from repro.service.registry import OptimizerRegistry
+
+        self.registry = registry if registry is not None else OptimizerRegistry()
+        self.registry.params(preset)  # fail fast on unknown presets
+        self.preset = preset
+        self.name = f"service:{preset}"
+
+    def decide(self, d: int, m: float) -> PlanDecision:
+        result = self.registry.resolve([(self.preset, int(d), float(m))])[0]
+        return PlanDecision(
+            d=result.d, m=result.m, algorithm=algorithm_name(result.partition),
+            partition=result.partition, predicted_us=result.time_us, policy=self.name,
+            source=f"service:{result.source}",
+        )
+
+
+def make_policy(
+    name: str,
+    params: MachineParams,
+    *,
+    preset: str = "ipsc860",
+    registry=None,
+    partition: Sequence[int] | None = None,
+    naive: bool = False,
+) -> PlanningPolicy:
+    """Build one of the three named policies (CLI/bench convenience).
+
+    ``name`` is ``"fixed"``, ``"model"``, or ``"service"``; the fixed
+    policy honours ``partition``/``naive``, the service policy uses
+    ``registry`` (a fresh in-process one when omitted) under ``preset``.
+    """
+    if name == "fixed":
+        return FixedPolicy(partition, naive=naive, params=params)
+    if name == "model":
+        return ModelPolicy(params)
+    if name == "service":
+        return ServicePolicy(registry, preset=preset)
+    raise ValueError(f"unknown policy {name!r}; expected 'fixed', 'model', or 'service'")

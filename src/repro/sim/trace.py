@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["BarrierRecord", "ShuffleRecord", "Trace", "TransmissionRecord"]
+__all__ = ["BarrierRecord", "PlanRecord", "ShuffleRecord", "Trace", "TransmissionRecord"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,40 @@ class ShuffleRecord:
     t_end: float
 
 
+@dataclass(frozen=True)
+class PlanRecord:
+    """One collective-planning decision taken for this run.
+
+    Recorded when a planner (rather than a hardcoded partition) chose
+    the algorithm for a collective — the audit trail linking the
+    optimizer's advice to what the machine actually executed.
+    ``predicted_us`` is ``None`` for algorithms without an analytic
+    model (the naive rotation baseline).
+    """
+
+    d: int
+    m: float
+    algorithm: str
+    partition: tuple[int, ...] | None
+    predicted_us: float | None
+    policy: str
+    t_decided: float = 0.0
+
+    @classmethod
+    def from_decision(cls, decision, t_decided: float = 0.0) -> "PlanRecord":
+        """Snapshot a :class:`repro.plan.PlanDecision` (duck-typed, so
+        the sim layer stays independent of the plan package)."""
+        return cls(
+            d=decision.d,
+            m=float(decision.m),
+            algorithm=decision.algorithm,
+            partition=decision.partition,
+            predicted_us=decision.predicted_us,
+            policy=decision.policy,
+            t_decided=t_decided,
+        )
+
+
 @dataclass
 class Trace:
     """Accumulated records of one simulated run."""
@@ -71,6 +105,7 @@ class Trace:
     shuffles: list[ShuffleRecord] = field(default_factory=list)
     dropped_messages: list[tuple[int, int, int, float]] = field(default_factory=list)
     phase_marks: list[tuple[int, float]] = field(default_factory=list)
+    plan_decisions: list[PlanRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # recording
@@ -89,6 +124,9 @@ class Trace:
 
     def mark_phase(self, phase_index: int, time: float) -> None:
         self.phase_marks.append((phase_index, time))
+
+    def record_plan(self, record: PlanRecord) -> None:
+        self.plan_decisions.append(record)
 
     # ------------------------------------------------------------------
     # statistics
@@ -144,4 +182,5 @@ class Trace:
             "n_barriers": float(len(self.barriers)),
             "n_shuffles": float(len(self.shuffles)),
             "n_drops": float(len(self.dropped_messages)),
+            "n_plan_decisions": float(len(self.plan_decisions)),
         }

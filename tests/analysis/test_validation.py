@@ -1,0 +1,63 @@
+"""Tests for the planner validation report (predicted vs simulated)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import APP_WORKLOADS, validate_policy
+from repro.plan import FixedPolicy, ModelPolicy, ServicePolicy
+
+
+class TestValidatePolicy:
+    def test_default_policy_runs_all_apps(self, ipsc):
+        report = validate_policy(params=ipsc)
+        assert report.verified_apps == list(APP_WORKLOADS)
+        assert report.policy == "fixed"
+        assert len(report.rows) >= len(APP_WORKLOADS)
+
+    def test_model_policy_agrees_with_simulation(self, ipsc):
+        report = validate_policy(ModelPolicy(ipsc), params=ipsc)
+        assert report.rows, "expected at least one decision per app"
+        for row in report.rows:
+            assert row.predicted_us is not None
+            assert row.rel_error is not None
+            # contention-free schedules: the simulator *is* the model
+            assert row.rel_error < 0.01, row
+        assert report.max_rel_error < 0.01
+
+    def test_service_policy_matches_model_policy_rows(self, ipsc):
+        model = validate_policy(ModelPolicy(ipsc), params=ipsc)
+        service = validate_policy(ServicePolicy(preset="ipsc860"), params=ipsc)
+        got_model = [(r.app, r.d, r.m, r.partition, r.predicted_us) for r in model.rows]
+        got_service = [(r.app, r.d, r.m, r.partition, r.predicted_us) for r in service.rows]
+        assert got_model == got_service
+
+    def test_decisions_recorded_in_simulator_traces(self, ipsc):
+        report = validate_policy(ModelPolicy(ipsc), params=ipsc)
+        assert report.n_trace_decisions == len(report.rows)
+
+    def test_naive_policy_rows_have_no_prediction(self, ipsc):
+        report = validate_policy(
+            FixedPolicy(naive=True), params=ipsc, apps=["transpose"]
+        )
+        assert report.verified_apps == ["transpose"]
+        for row in report.rows:
+            assert row.algorithm == "naive"
+            assert row.predicted_us is None and row.rel_error is None
+            assert row.simulated_us > 0
+        assert report.max_rel_error == 0.0
+
+    def test_subset_and_unknown_app(self, ipsc):
+        report = validate_policy(params=ipsc, apps=["adi"])
+        assert report.verified_apps == ["adi"]
+        with pytest.raises(ValueError, match="unknown app"):
+            validate_policy(params=ipsc, apps=["raytracer"])
+
+    def test_render_mentions_every_app_and_errors(self, ipsc):
+        report = validate_policy(ModelPolicy(ipsc), params=ipsc)
+        text = report.render()
+        for app in APP_WORKLOADS:
+            assert app in text
+        assert "payload-checked" in text
+        assert "max rel. error" in text
+        assert "plan records in traces" in text

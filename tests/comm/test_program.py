@@ -7,7 +7,6 @@ import pytest
 from repro.comm.program import simulate_exchange, simulate_naive_exchange
 from repro.core.partitions import partitions
 from repro.model.cost import multiphase_time
-from repro.model.params import hypothetical, ipsc860
 
 
 class TestModelAgreement:

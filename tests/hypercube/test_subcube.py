@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.hypercube.subcube import BitGroup, phase_bit_groups, subcube_of, subcubes_for_bits
 from tests.conftest import small_cube_cases

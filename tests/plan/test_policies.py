@@ -1,0 +1,124 @@
+"""Tests for the planning policies: fixed, model, service."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.cost import multiphase_time
+from repro.model.params import PRESETS
+from repro.plan import FixedPolicy, ModelPolicy, ServicePolicy, algorithm_name, make_policy
+from repro.service import OptimizerRegistry
+
+#: block sizes off every table switch point (odd values, nothing within
+#: 1e-3 of a located boundary) so stored-table answers must equal the
+#: inline argmin bit for bit
+AGREEMENT_MS = (0.5, 7.0, 23.0, 41.0, 97.0, 211.0, 399.0)
+
+
+class TestAlgorithmName:
+    def test_families(self):
+        assert algorithm_name((1, 1, 1, 1)) == "standard"
+        assert algorithm_name((6,)) == "single-phase"
+        assert algorithm_name((3, 2, 1)) == "multiphase"
+        assert algorithm_name(None) == "naive"
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError, match="empty partition"):
+            algorithm_name(())
+
+
+class TestFixedPolicy:
+    def test_default_is_single_phase(self):
+        decision = FixedPolicy().decide(5, 40.0)
+        assert decision.partition == (5,)
+        assert decision.algorithm == "single-phase"
+        assert decision.predicted_us is None  # no params, no prediction
+
+    def test_partition_is_priced_with_params(self, ipsc):
+        decision = FixedPolicy((3, 2), params=ipsc).decide(5, 40.0)
+        assert decision.predicted_us == multiphase_time(40.0, 5, (3, 2), ipsc)
+
+    def test_naive(self):
+        decision = FixedPolicy(naive=True).decide(4, 16.0)
+        assert decision.algorithm == "naive"
+        assert decision.partition is None
+        assert decision.predicted_us is None
+
+    def test_naive_with_partition_rejected(self):
+        with pytest.raises(ValueError, match="naive baseline has no partition"):
+            FixedPolicy((2, 2), naive=True)
+
+    def test_partition_must_match_dimension(self):
+        with pytest.raises(ValueError):
+            FixedPolicy((3, 2)).decide(4, 16.0)
+
+
+class TestModelPolicy:
+    def test_matches_optimizer(self, ipsc):
+        decision = ModelPolicy(ipsc).decide(7, 40.0)
+        assert decision.partition == (4, 3)
+        assert decision.predicted_us == multiphase_time(40.0, 7, (4, 3), ipsc)
+        assert decision.ranking is not None and decision.ranking[0][0] == (4, 3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        d=st.integers(min_value=1, max_value=8),
+        m=st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+    )
+    def test_never_predicted_slower_than_fixed_alternatives(self, d, m):
+        """The planner's choice is never worse than either classic:
+        Standard Exchange ((1,)*d) or single-phase OCS ((d,))."""
+        params = PRESETS["ipsc860"]()
+        decision = ModelPolicy(params).decide(d, m)
+        assert decision.predicted_us <= multiphase_time(m, d, (1,) * d, params)
+        assert decision.predicted_us <= multiphase_time(m, d, (d,), params)
+
+
+class TestServicePolicy:
+    def test_default_registry(self):
+        decision = ServicePolicy(preset="ipsc860").decide(7, 40.0)
+        assert decision.partition == (4, 3)
+        assert decision.source == "service:grid"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine preset"):
+            ServicePolicy(preset="cray")
+
+    def test_memo_surfaces_in_source(self):
+        policy = ServicePolicy(preset="ipsc860")
+        policy.decide(6, 24.0)
+        assert policy.decide(6, 24.0).source == "service:memo"
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_agrees_bitwise_with_model_policy(self, preset, d):
+        """Stored-table answers equal the inline model argmin exactly —
+        same partition, bit-identical predicted time — across presets
+        and the full dimension range."""
+        params = PRESETS[preset]()
+        model = ModelPolicy(params)
+        service = ServicePolicy(OptimizerRegistry(), preset=preset)
+        for m in AGREEMENT_MS:
+            got_model = model.decide(d, m)
+            got_service = service.decide(d, m)
+            assert got_model.partition == got_service.partition, (preset, d, m)
+            assert got_model.predicted_us == got_service.predicted_us, (preset, d, m)
+            assert got_model.algorithm == got_service.algorithm
+
+
+class TestMakePolicy:
+    def test_names(self, ipsc):
+        assert make_policy("fixed", ipsc).name == "fixed"
+        assert make_policy("model", ipsc).name == "model"
+        assert make_policy("service", ipsc).name == "service:ipsc860"
+
+    def test_fixed_options_pass_through(self, ipsc):
+        assert make_policy("fixed", ipsc, naive=True).name == "fixed:naive"
+        policy = make_policy("fixed", ipsc, partition=(2, 2))
+        assert policy.decide(4, 8.0).partition == (2, 2)
+
+    def test_unknown_rejected(self, ipsc):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("oracle", ipsc)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.model.cost import multiphase_time
 from repro.model.optimizer import best_partition
-from repro.model.params import hypothetical, ipsc860
+from repro.model.params import ipsc860
 from repro.service.batch import Query, QueryBatch, resolve_queries
 from repro.service.registry import OptimizerRegistry
 

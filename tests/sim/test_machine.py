@@ -148,7 +148,7 @@ class TestUnforcedMessages:
                 if ctx.rank == 1:
                     yield ctx.send(0, payload=None, nbytes=400, tag=0, forced=forced)
                 else:
-                    data = yield ctx.recv(1, tag=0)
+                    yield ctx.recv(1, tag=0)
 
             return machine.run(program).time
 

@@ -221,6 +221,86 @@ class TestServiceCommands:
         assert json.loads(out)["partition"] == [3, 2]
 
 
+class TestPlanCommand:
+    def test_plan_model_policy(self, capsys):
+        assert main(["plan", "7", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "plan for complete exchange" in out
+        assert "{3,4}" in out and "<-- chosen" in out
+        assert "standard" in out and "single-phase" in out and "naive" in out
+
+    def test_plan_fixed_policy(self, capsys):
+        assert main(["plan", "7", "40", "--policy", "fixed"]) == 0
+        out = capsys.readouterr().out
+        assert "policy: fixed" in out
+        assert "single-phase {7}" in out
+
+    def test_plan_service_policy(self, capsys):
+        assert main(["plan", "7", "40", "--policy", "service"]) == 0
+        out = capsys.readouterr().out
+        assert "policy: service:ipsc860" in out
+        assert "{3,4}" in out
+
+    def test_plan_service_with_shards(self, tmp_path, capsys):
+        shard_dir = str(tmp_path / "shards")
+        assert main(["shards", shard_dir, "--dims", "7"]) == 0
+        capsys.readouterr()
+        assert main(["plan", "7", "40", "--policy", "service", "--shards", shard_dir]) == 0
+        out = capsys.readouterr().out
+        assert "{3,4}" in out
+
+    def test_plan_json(self, capsys):
+        import json
+
+        assert main(["plan", "7", "40", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["algorithm"] == "multiphase"
+        assert doc["partition"] == [4, 3]
+        by_name = {c["algorithm"]: c for c in doc["candidates"]}
+        assert set(by_name) >= {"standard", "single-phase", "naive"}
+        # candidate partitions are machine-readable lists, not strings
+        assert by_name["standard"]["partition"] == [1] * 7
+        assert by_name["single-phase"]["partition"] == [7]
+        assert by_name["naive"]["partition"] is None
+        assert by_name["naive"]["predicted_us"] is None
+
+    def test_plan_shards_require_service_policy(self, tmp_path):
+        with pytest.raises(SystemExit, match="only applies to --policy service"):
+            main(["plan", "7", "40", "--shards", str(tmp_path)])
+
+    def test_plan_pattern(self, capsys):
+        assert main(["plan", "5", "40", "--pattern", "scatter"]) == 0
+        out = capsys.readouterr().out
+        assert "plan for scatter" in out
+        assert "halving" in out and "direct" in out
+
+    def test_plan_pattern_json(self, capsys):
+        import json
+
+        assert main(["plan", "5", "40", "--pattern", "allgather", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["algorithm"] == "doubling"
+        assert len(doc["candidates"]) == 2
+
+
+class TestAppsCommand:
+    def test_apps_model_policy(self, capsys):
+        assert main(["apps", "--policy", "model"]) == 0
+        out = capsys.readouterr().out
+        assert "apps verified (payload-checked): transpose, fft2d, lookup, adi" in out
+        assert "max rel. error" in out
+
+    def test_apps_subset_fixed_policy(self, capsys):
+        assert main(["apps", "--policy", "fixed", "--apps", "transpose"]) == 0
+        out = capsys.readouterr().out
+        assert "policy 'fixed'" in out
+        assert "transpose" in out and "adi" not in out
+
+    def test_apps_unknown_app(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["apps", "--apps", "raytracer"])
+
+
 class TestReviewRegressions:
     def test_hull_json_after_load_has_unknown_bound(self, tmp_path, capsys):
         import json

@@ -23,7 +23,7 @@ class TestPublicSurface:
         for module_name in (
             "repro.core", "repro.model", "repro.hypercube", "repro.sim",
             "repro.comm", "repro.analysis", "repro.apps", "repro.util",
-            "repro.service",
+            "repro.service", "repro.plan", "repro.patterns",
         ):
             module = importlib.import_module(module_name)
             for name in module.__all__:
@@ -67,6 +67,10 @@ DOCTEST_MODULES = [
     "repro.service.server",
     "repro.sim.machine",
     "repro.comm.program",
+    "repro.plan.decision",
+    "repro.plan.planner",
+    "repro.plan.policies",
+    "repro.plan.patterns",
     "repro.apps.transpose",
     "repro.apps.fft2d",
     "repro.apps.matvec",
