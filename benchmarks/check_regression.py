@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Perf-regression gate: measured benchmark ratios vs committed baselines.
+
+The perf benchmarks write machine-readable metrics to
+``benchmarks/output/BENCH_<name>.json`` (via the ``record_metrics``
+fixture, *before* asserting their own hard floors).  This script
+compares those measurements against ``benchmarks/baselines.json`` and
+exits non-zero when any recorded speedup ratio regressed by more than
+the configured tolerance (default 30%), or when an expected
+measurement is missing — a benchmark that silently stopped running is
+a regression too.
+
+Baselines are committed as the accepted ratio floors rather than
+point-in-time measurements: ratios are stable across machines in a way
+absolute milliseconds are not, and a floor-based baseline keeps the
+gate meaningful on both a laptop and a noisy CI runner.  Raise a
+baseline when an optimization lands and its new ratio proves stable.
+
+Usage::
+
+    python -m pytest -q -m perf benchmarks/   # writes BENCH_*.json
+    python benchmarks/check_regression.py     # gates on the results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+
+def load_measurements(output_dir: Path) -> dict[str, dict[str, float]]:
+    """All ``BENCH_*.json`` metric documents in ``output_dir``."""
+    measurements: dict[str, dict[str, float]] = {}
+    for path in sorted(output_dir.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+            measurements[doc["benchmark"]] = dict(doc["metrics"])
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            print(f"warning: ignoring unreadable metrics file {path}: {exc}")
+    return measurements
+
+
+def check(
+    baselines: dict,
+    measurements: dict[str, dict[str, float]],
+    *,
+    tolerance: float | None = None,
+    allow_missing: bool = False,
+) -> list[str]:
+    """Compare and report; returns the list of failure messages."""
+    tol = tolerance if tolerance is not None else float(baselines.get("tolerance", 0.30))
+    failures: list[str] = []
+    width = max(
+        (len(f"{name}.{metric}") for name, metrics in baselines["benchmarks"].items()
+         for metric in metrics),
+        default=10,
+    )
+    print(f"perf regression check (tolerance: {tol:.0%} below baseline)")
+    for name, expected_metrics in sorted(baselines["benchmarks"].items()):
+        measured_metrics = measurements.get(name)
+        for metric, baseline in expected_metrics.items():
+            label = f"{name}.{metric}"
+            if measured_metrics is None or metric not in measured_metrics:
+                status = "MISSING"
+                if not allow_missing:
+                    failures.append(
+                        f"{label}: no measurement found (did the benchmark run?)"
+                    )
+                print(f"  {label:<{width}}  baseline {baseline:8.2f}  "
+                      f"measured      (-)  {status}")
+                continue
+            measured = float(measured_metrics[metric])
+            floor = baseline * (1.0 - tol)
+            if measured < floor:
+                status = "FAIL"
+                failures.append(
+                    f"{label}: measured {measured:.2f} is "
+                    f"{1.0 - measured / baseline:.0%} below baseline {baseline:.2f} "
+                    f"(allowed: {tol:.0%})"
+                )
+            else:
+                status = "ok"
+            print(f"  {label:<{width}}  baseline {baseline:8.2f}  "
+                  f"measured {measured:8.2f}  {status}")
+    extra = sorted(set(measurements) - set(baselines["benchmarks"]))
+    if extra:
+        print(f"  note: unbaselined measurements present: {', '.join(extra)} "
+              "(add them to baselines.json to gate on them)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output-dir", type=Path, default=HERE / "output",
+        help="directory holding BENCH_*.json (default: benchmarks/output)",
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=HERE / "baselines.json",
+        help="committed baseline document (default: benchmarks/baselines.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override the allowed fractional drop (e.g. 0.3)",
+    )
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="do not fail when a baselined benchmark has no measurement",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = json.loads(args.baselines.read_text())
+    if not args.output_dir.is_dir():
+        print(f"error: output directory {args.output_dir} does not exist; "
+              "run the perf benchmarks first")
+        return 2
+    measurements = load_measurements(args.output_dir)
+    failures = check(
+        baselines,
+        measurements,
+        tolerance=args.tolerance,
+        allow_missing=args.allow_missing,
+    )
+    if failures:
+        print("\nperf regressions detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

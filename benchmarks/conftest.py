@@ -15,6 +15,7 @@ to ``benchmarks/output/*.txt`` regardless.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -51,3 +52,24 @@ def archive(output_dir):
         return path
 
     return _archive
+
+
+@pytest.fixture()
+def record_metrics(output_dir):
+    """Write machine-readable benchmark metrics for the CI regression gate.
+
+    Each perf benchmark records its measured ratios as
+    ``benchmarks/output/BENCH_<name>.json`` **before** asserting its
+    own floor, so ``benchmarks/check_regression.py`` can compare a run
+    against the committed ``benchmarks/baselines.json`` even when an
+    assertion trips.
+    """
+
+    def _record(name: str, **metrics: float) -> Path:
+        path = output_dir / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps({"benchmark": name, "metrics": metrics}, indent=2) + "\n"
+        )
+        return path
+
+    return _record

@@ -70,7 +70,7 @@ def test_plan_cache_amortizes_repeated_decisions(ipsc, make_inner):
 
 
 @pytest.mark.perf
-def test_bench_planner_cache_speedup(ipsc, archive):
+def test_bench_planner_cache_speedup(ipsc, archive, record_metrics):
     """Wall-clock: cached planning vs consulting the policy each time
     (informational; the gating assertion above counts calls)."""
     t0 = time.perf_counter()
@@ -100,4 +100,5 @@ def test_bench_planner_cache_speedup(ipsc, archive):
             ]
         ),
     )
+    record_metrics("planner_cache", speedup=speedup)
     assert speedup >= 10.0, f"plan cache speedup only {speedup:.1f}x"

@@ -75,7 +75,7 @@ def test_bench_service_matches_scalar_loop(shard_dir, ipsc):
 
 
 @pytest.mark.perf
-def test_bench_service_throughput(shard_dir, ipsc, archive):
+def test_bench_service_throughput(shard_dir, ipsc, archive, record_metrics):
     """Batched shard-backed serving vs the per-call scalar loop."""
     queries = workload()
 
@@ -105,4 +105,5 @@ def test_bench_service_throughput(shard_dir, ipsc, archive):
         f"tables loaded from shards: {stats.tables_loaded}\n"
         f"  answers identical: True",
     )
+    record_metrics("service_throughput", speedup=speedup)
     assert speedup >= 10.0

@@ -46,7 +46,7 @@ def test_bench_grid_kernel_throughput(benchmark, ipsc):
 
 
 @pytest.mark.perf
-def test_bench_hull_grid_vs_scalar(benchmark, ipsc, archive):
+def test_bench_hull_grid_vs_scalar(benchmark, ipsc, archive, record_metrics):
     """hull_of_optimality at 512-point resolution: grid vs scalar."""
     t_scalar, scalar_table = _best_of(
         lambda: hull_of_optimality(D, ipsc, resolution=HULL_RESOLUTION, method="scalar"),
@@ -68,11 +68,12 @@ def test_bench_hull_grid_vs_scalar(benchmark, ipsc, archive):
         f"  speedup: {speedup:.1f}x (acceptance floor: 10x)\n"
         f"  tables bit-identical: True",
     )
+    record_metrics("vectorized_hull", speedup=speedup)
     assert speedup >= 10.0
 
 
 @pytest.mark.perf
-def test_bench_sweep_grid_vs_scalar(benchmark, ipsc, archive):
+def test_bench_sweep_grid_vs_scalar(benchmark, ipsc, archive, record_metrics):
     """partition_sweep over the 512-point d=7 row: batch vs scalar."""
     t_scalar, scalar_cells = _best_of(
         lambda: partition_sweep((D,), BLOCK_SIZES, ipsc, batch=False), repeats=1
@@ -89,4 +90,5 @@ def test_bench_sweep_grid_vs_scalar(benchmark, ipsc, archive):
         f"  speedup: {speedup:.1f}x (acceptance floor: 10x)\n"
         f"  cells identical: True",
     )
+    record_metrics("vectorized_sweep", speedup=speedup)
     assert speedup >= 10.0

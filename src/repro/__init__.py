@@ -38,7 +38,9 @@ Package map
     Transpose, 2-D FFT, table lookup, ADI solver.
 :mod:`repro.service`
     Long-lived optimizer query service: sharded table registry,
-    batched query resolution, JSON-lines serving loop.
+    batched query resolution, JSON-lines serving over stdio and async
+    TCP/Unix sockets with cross-client micro-batching, client library,
+    memo warm-up from query logs.
 :mod:`repro.plan`
     Optimizer-guided collective planning: pluggable policies
     (fixed / model / service) selecting the exchange algorithm per
@@ -87,13 +89,21 @@ from repro.plan import (
     ServicePolicy,
     plan_pattern,
 )
-from repro.service import OptimizerRegistry, Query, QueryBatch, QueryResult
+from repro.service import (
+    AsyncServiceClient,
+    OptimizerRegistry,
+    Query,
+    QueryBatch,
+    QueryResult,
+    ServiceClient,
+)
 from repro.sim import SimulatedHypercube
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ADIProblem",
+    "AsyncServiceClient",
     "CollectivePlanner",
     "Communicator",
     "DistributedTable",
@@ -107,6 +117,7 @@ __all__ = [
     "Query",
     "QueryBatch",
     "QueryResult",
+    "ServiceClient",
     "ServicePolicy",
     "SimulatedHypercube",
     "__version__",

@@ -23,9 +23,17 @@ Commands
     Long-lived JSON-lines query loop on stdin/stdout (one request per
     line; see :mod:`repro.service.server` for the protocol).  With
     ``--shards DIR`` tables come from the prebuilt directory
-    (dimensions missing from a shard are swept on demand).
+    (dimensions missing from a shard are swept on demand).  With
+    ``--socket HOST:PORT`` (or ``unix:PATH``) the same protocol is
+    served to many concurrent clients by the asyncio transport of
+    :mod:`repro.service.async_server`, with per-connection pipelining
+    and cross-client micro-batching; ``--warm LOG`` replays a
+    JSON-lines query log into the result memo before the first
+    request (both transports).
 ``query D M``
-    One-shot optimizer query through the same service path.
+    One-shot optimizer query through the same service path; with
+    ``--connect ADDR`` the query is answered by a running socket
+    server instead of an in-process registry.
 ``plan D M``
     Show the collective planner's decision for a ``(d, m)`` exchange
     (or a §9 pattern with ``--pattern``) under a chosen policy, with
@@ -134,11 +142,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_serve = sub.add_parser(
-        "serve", help="serve optimizer queries as JSON lines on stdin/stdout"
+        "serve", help="serve optimizer queries as JSON lines (stdio or socket)"
     )
     p_serve.add_argument(
         "--shards", metavar="DIR",
         help="serve from a prebuilt shard directory (see 'repro shards')",
+    )
+    p_serve.add_argument(
+        "--socket", metavar="ADDR",
+        help="serve many concurrent clients on HOST:PORT or unix:PATH "
+        "(async transport with cross-client batching; default: stdio)",
+    )
+    p_serve.add_argument(
+        "--warm", metavar="LOG",
+        help="replay a JSON-lines query log into the result memo on startup",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=None, metavar="N",
+        help="flush the cross-client micro-batch at N pending queries "
+        "(socket mode; default: 64)",
+    )
+    p_serve.add_argument(
+        "--hold-us", type=float, default=None, metavar="US",
+        help="hold the micro-batch up to US microseconds to gather "
+        "occupancy (socket mode; default: 0 — flush at the end of "
+        "the event-loop turn)",
     )
 
     p_query = sub.add_parser(
@@ -149,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--shards", metavar="DIR",
         help="answer from a prebuilt shard directory (see 'repro shards')",
+    )
+    p_query.add_argument(
+        "--connect", metavar="ADDR",
+        help="ask a running socket server (HOST:PORT or unix:PATH) "
+        "instead of building an in-process registry",
     )
     p_query.add_argument(
         "--json", action="store_true", help="print the answer as JSON"
@@ -350,6 +383,8 @@ def cmd_shards(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    if args.socket is None and (args.max_batch is not None or args.hold_us is not None):
+        raise SystemExit("--max-batch/--hold-us only apply to --socket serving")
     registry = _registry(args.shards)
     default_preset: str | None = args.machine
     if args.machine not in registry.preset_names:
@@ -361,17 +396,77 @@ def cmd_serve(args) -> int:
             f"(have {list(registry.preset_names)}); requests must name a preset",
             file=sys.stderr,
         )
+    if args.warm:
+        from repro.service.warmup import warm_registry
+
+        try:
+            report = warm_registry(registry, args.warm, default_preset=default_preset)
+        except OSError as exc:
+            raise SystemExit(f"cannot read warm-up log: {exc}")
+        print(f"warm-up: {report.describe()}", file=sys.stderr)
+    # the summary reports *served* traffic: whatever warm-up resolved
+    # into the memo is a baseline, not a query some client asked
+    base = registry.stats.as_dict()
+    if args.socket:
+        from repro.service.async_server import run_server
+        from repro.service.client import parse_address
+
+        try:
+            address = parse_address(args.socket)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
+        def announce(server) -> None:
+            print(
+                f"serving optimizer queries on {server.address}",
+                file=sys.stderr, flush=True,
+            )
+
+        try:
+            server_stats = run_server(
+                registry,
+                address,
+                default_preset=default_preset,
+                max_batch=args.max_batch if args.max_batch is not None else 64,
+                hold_us=args.hold_us if args.hold_us is not None else 0.0,
+                ready=announce,
+            )
+        except ValueError as exc:
+            # bad --max-batch / --hold-us values surface here
+            raise SystemExit(str(exc))
+        except OSError as exc:
+            raise SystemExit(f"cannot serve on {address}: {exc}")
+        stats = registry.stats
+        served = stats.queries - base["queries"]
+        hits = stats.memo_hits - base["memo_hits"]
+        print(
+            f"served {served} queries over "
+            f"{server_stats.connections_opened} connections: "
+            f"{hits} memo hits ({hits / served if served else 0.0:.1%}), "
+            f"{server_stats.batches} batches "
+            f"(mean occupancy {server_stats.mean_batch_queries:.1f}, "
+            f"peak {server_stats.peak_batch_queries}), "
+            f"{stats.grid_calls - base['grid_calls']} grid calls",
+            file=sys.stderr,
+        )
+        return 0
     stats = serve(registry, sys.stdin, sys.stdout, default_preset=default_preset)
+    served = stats.queries - base["queries"]
+    hits = stats.memo_hits - base["memo_hits"]
     print(
-        f"served {stats.queries} queries: {stats.memo_hits} memo hits "
-        f"({stats.memo_hit_rate:.1%}), {stats.grid_calls} grid calls, "
-        f"{stats.tables_loaded} tables loaded, {stats.tables_built} built",
+        f"served {served} queries: {hits} memo hits "
+        f"({hits / served if served else 0.0:.1%}), "
+        f"{stats.grid_calls - base['grid_calls']} grid calls, "
+        f"{stats.tables_loaded - base['tables_loaded']} tables loaded, "
+        f"{stats.tables_built - base['tables_built']} built",
         file=sys.stderr,
     )
     return 0
 
 
 def cmd_query(args) -> int:
+    if args.connect:
+        return _cmd_query_connect(args)
     registry = _registry(args.shards)
     try:
         result = registry.resolve([(args.machine, args.d, args.m)])[0]
@@ -404,6 +499,36 @@ def cmd_query(args) -> int:
     else:
         served = "in-process table"
     print(f"  served from: {served} ({result.source})")
+    return 0
+
+
+def _cmd_query_connect(args) -> int:
+    """Answer ``repro query --connect`` from a running socket server."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.shards:
+        raise SystemExit("--connect and --shards are mutually exclusive")
+    try:
+        with ServiceClient(args.connect) as client:
+            response = client.query(args.d, args.m, preset=args.machine)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except ServiceError as exc:
+        raise SystemExit(f"server error: {exc}")
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach optimizer server at {args.connect}: {exc}")
+    if args.json:
+        print(json.dumps({
+            key: response[key]
+            for key in ("preset", "d", "m", "partition", "time_us", "source")
+        }))
+        return 0
+    print(
+        f"optimal partition for d={args.d}, m={args.m:g} B on "
+        f"{response['preset']}: {_fmt(response['partition'])}"
+    )
+    print(f"  predicted time: {response['time_us']:.1f} us")
+    print(f"  served from: optimizer server at {args.connect} ({response['source']})")
     return 0
 
 

@@ -15,20 +15,55 @@ repeated future use".  This subsystem is the *repeated future use*:
     lookups into as few grid-kernel calls as possible.
 :mod:`repro.service.server`
     :func:`serve` — the stdin/stdout JSON-lines request loop behind
-    ``repro serve`` (and the one-shot ``repro query``).
+    ``repro serve`` (and the one-shot ``repro query``), plus the
+    protocol helpers every transport shares.
+:mod:`repro.service.async_server`
+    :class:`AsyncOptimizerServer` — the same protocol on asyncio
+    TCP/Unix sockets with per-connection pipelining and a cross-client
+    micro-batcher coalescing concurrently pending queries into single
+    grid passes (``repro serve --socket``).
+:mod:`repro.service.client`
+    :class:`ServiceClient` / :class:`AsyncServiceClient` — sync and
+    asyncio clients with pipelined ``query_many``.
+:mod:`repro.service.warmup`
+    :func:`warm_registry` — seed the result memo from a JSON-lines
+    query log before the first connection (``repro serve --warm``).
 """
 
-from repro.service.batch import Query, QueryBatch, QueryResult, resolve_queries
+from repro.service.async_server import AsyncOptimizerServer, ServerStats, run_server
+from repro.service.batch import Query, QueryBatch, QueryResult, as_query, resolve_queries
+from repro.service.client import (
+    Address,
+    AsyncServiceClient,
+    ServiceClient,
+    ServiceError,
+    parse_address,
+)
 from repro.service.registry import DEFAULT_DIMS, OptimizerRegistry, RegistryStats
-from repro.service.server import serve
+from repro.service.server import MAX_BATCH_QUERIES, handle_request, serve
+from repro.service.warmup import WarmupReport, load_query_log, warm_registry
 
 __all__ = [
+    "Address",
+    "AsyncOptimizerServer",
+    "AsyncServiceClient",
     "DEFAULT_DIMS",
+    "MAX_BATCH_QUERIES",
     "OptimizerRegistry",
     "Query",
     "QueryBatch",
     "QueryResult",
     "RegistryStats",
+    "ServerStats",
+    "ServiceClient",
+    "ServiceError",
+    "WarmupReport",
+    "as_query",
+    "handle_request",
+    "load_query_log",
+    "parse_address",
     "resolve_queries",
+    "run_server",
     "serve",
+    "warm_registry",
 ]

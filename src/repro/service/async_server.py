@@ -1,0 +1,573 @@
+"""Async multi-client serving with cross-client micro-batching.
+
+:class:`AsyncOptimizerServer` puts the JSON-lines protocol of
+:mod:`repro.service.server` on an asyncio socket (TCP ``host:port`` or
+``unix:path``) so many clients can hold connections open and pipeline
+requests.  The request semantics are untouched — classification,
+validation, and response shaping are the same
+:func:`~repro.service.server.extract_queries` /
+:func:`~repro.service.server.handle_op` /
+:func:`~repro.service.server.build_response` helpers the stdio loop
+uses — what the socket transport adds is *concurrency*:
+
+* **per-connection pipelining** — a connection's requests are admitted
+  synchronously as its lines arrive and answered strictly in request
+  order, so a client may write hundreds of lines before reading one
+  response;
+* **cross-client micro-batching** — every admitted query, from every
+  connection, lands in one shared :class:`_MicroBatcher`.  A batch
+  flushes into a single coalesced
+  :func:`~repro.service.batch.resolve_queries` pass when it reaches
+  ``max_batch`` queries or, by default, at the end of the current
+  event-loop turn — i.e. once every connection with readable data has
+  been admitted, so concurrent clients coalesce while a lone serial
+  client never waits on a clock.  A ``hold_us`` window (``> 0``)
+  instead holds the batch up to that long to gather occupancy across
+  turns — the latency/amortization trade is configuration, not code;
+* **graceful drain** — :meth:`AsyncOptimizerServer.aclose` (also
+  triggered by the socket-only ``{"op": "shutdown"}`` request and by
+  SIGINT/SIGTERM under :func:`run_server`) stops accepting, stops
+  reading, and answers everything already admitted; a client that
+  stopped reading gets ``drain_timeout`` seconds before its remaining
+  responses are dropped, so shutdown always terminates.  Pipelining is
+  bounded per connection (``max_pipeline``): past the bound the server
+  stops reading and lets TCP push back, so a client that never reads
+  its responses cannot grow server memory without limit;
+* **per-server stats** — :class:`ServerStats` counts connections,
+  requests, in-flight depth, and batch occupancy next to the
+  registry's own memo/grid counters; the ``{"op": "stats"}`` response
+  carries them in a ``server`` section (stdio responses are
+  unchanged).
+
+One event loop, one registry: resolution runs on the loop, so the
+registry needs no locking and the memo/LRU stay exactly as consistent
+as under the stdio loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.service.batch import Query, QueryResult, check_query_values, resolve_queries
+from repro.service.client import Address, parse_address
+from repro.service.registry import OptimizerRegistry
+from repro.service.server import (
+    MAX_BATCH_QUERIES,
+    build_response,
+    error_response,
+    extract_queries,
+    handle_op,
+)
+
+__all__ = ["AsyncOptimizerServer", "ServerStats", "run_server"]
+
+
+@dataclass
+class ServerStats:
+    """Counters for one socket server's lifetime."""
+
+    #: connections accepted / fully closed
+    connections_opened: int = 0
+    connections_closed: int = 0
+    #: request lines admitted (including ones that answer with errors)
+    requests: int = 0
+    #: responses written back to clients
+    responses: int = 0
+    #: responses that carried ``{"ok": false}``
+    errors: int = 0
+    #: requests admitted but not yet answered (live gauge) and its peak
+    in_flight: int = 0
+    peak_in_flight: int = 0
+    #: micro-batcher flushes, and what triggered each
+    batches: int = 0
+    flushes_size: int = 0
+    flushes_drain: int = 0
+    flushes_timer: int = 0
+    #: queries resolved through the batcher, requests they came from,
+    #: and the largest single flush (cross-client occupancy high-water)
+    batched_queries: int = 0
+    batched_requests: int = 0
+    peak_batch_queries: int = 0
+
+    @property
+    def connections_active(self) -> int:
+        return self.connections_opened - self.connections_closed
+
+    @property
+    def mean_batch_queries(self) -> float:
+        """Average flush occupancy (queries per grid-coalesced pass)."""
+        return self.batched_queries / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "connections_opened": self.connections_opened,
+            "connections_closed": self.connections_closed,
+            "connections_active": self.connections_active,
+            "requests": self.requests,
+            "responses": self.responses,
+            "errors": self.errors,
+            "in_flight": self.in_flight,
+            "peak_in_flight": self.peak_in_flight,
+            "batches": self.batches,
+            "flushes_size": self.flushes_size,
+            "flushes_drain": self.flushes_drain,
+            "flushes_timer": self.flushes_timer,
+            "batched_queries": self.batched_queries,
+            "batched_requests": self.batched_requests,
+            "peak_batch_queries": self.peak_batch_queries,
+            "mean_batch_queries": self.mean_batch_queries,
+        }
+
+
+class _MicroBatcher:
+    """Coalesce concurrently pending queries into one grid pass.
+
+    Submissions accumulate until one of three triggers flushes them all
+    through a single :func:`resolve_queries` call:
+
+    ``size``
+        the pending pool reached ``max_batch`` queries;
+    ``drain``
+        the event loop reached the end of the turn in which the first
+        pending query was admitted (``hold_s == 0``).  Admission is
+        synchronous in each connection's read loop, so by then every
+        connection with buffered input has contributed — concurrent
+        load coalesces, and a lone serial request flushes immediately;
+    ``timer``
+        the opt-in ``hold_s > 0`` window expired: the batch was held
+        across turns to gather more occupancy at a bounded latency
+        cost.
+    """
+
+    def __init__(
+        self,
+        registry: OptimizerRegistry,
+        stats: ServerStats,
+        *,
+        max_batch: int,
+        hold_s: float,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if hold_s < 0:
+            raise ValueError(f"hold window must be >= 0, got {hold_s}")
+        self._registry = registry
+        self._stats = stats
+        self._max_batch = max_batch
+        self._hold_s = hold_s
+        self._pending: list[tuple[list[Query], asyncio.Future]] = []
+        self._pending_queries = 0
+        self._scheduled: asyncio.TimerHandle | asyncio.Handle | None = None
+
+    def submit(self, queries: list[Query]) -> "asyncio.Future[list[QueryResult]]":
+        """Queue one request's queries; the future resolves at flush."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((queries, future))
+        self._pending_queries += len(queries)
+        if self._pending_queries >= self._max_batch:
+            self.flush("size")
+        elif self._scheduled is None:
+            if self._hold_s > 0:
+                self._scheduled = loop.call_later(self._hold_s, self._flush_scheduled)
+            else:
+                self._scheduled = loop.call_soon(self._flush_scheduled)
+        return future
+
+    def _flush_scheduled(self) -> None:
+        self._scheduled = None
+        self.flush("drain" if self._hold_s == 0 else "timer")
+
+    def flush(self, reason: str = "drain") -> None:
+        """Resolve everything pending in one coalesced pass."""
+        if self._scheduled is not None:
+            self._scheduled.cancel()
+            self._scheduled = None
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        n_queries, self._pending_queries = self._pending_queries, 0
+        stats = self._stats
+        stats.batches += 1
+        stats.batched_queries += n_queries
+        stats.batched_requests += len(pending)
+        stats.peak_batch_queries = max(stats.peak_batch_queries, n_queries)
+        setattr(stats, f"flushes_{reason}", getattr(stats, f"flushes_{reason}") + 1)
+        flat = [query for queries, _ in pending for query in queries]
+        try:
+            # every query passed _admit_query, so skip re-normalization
+            results = resolve_queries(self._registry, flat, pre_normalized=True)
+        except Exception as exc:  # pre-validated queries: only infrastructure
+            # failures (e.g. a shard file going bad mid-serving) land here;
+            # every waiter gets the error instead of the whole server dying
+            for _, future in pending:
+                if not future.done():
+                    future.set_exception(
+                        RuntimeError(f"batch resolution failed: {exc}")
+                    )
+            return
+        offset = 0
+        for queries, future in pending:
+            chunk = results[offset : offset + len(queries)]
+            offset += len(queries)
+            if not future.done():
+                future.set_result(chunk)
+
+class AsyncOptimizerServer:
+    """Socket transport for one :class:`OptimizerRegistry`.
+
+    Construct, then ``await start(address)``; ``await wait_closed()``
+    blocks until a shutdown request, :meth:`aclose`, or a signal under
+    :func:`run_server` drains the server.
+    """
+
+    def __init__(
+        self,
+        registry: OptimizerRegistry,
+        *,
+        default_preset: str | None = None,
+        max_batch: int = 64,
+        hold_us: float = 0.0,
+        max_queries: int = MAX_BATCH_QUERIES,
+        max_line_bytes: int = 1 << 20,
+        max_pipeline: int = 1024,
+        drain_timeout: float = 5.0,
+    ) -> None:
+        self.registry = registry
+        self.stats = ServerStats()
+        self._default_preset = default_preset
+        self._max_queries = max_queries
+        self._max_line_bytes = max_line_bytes
+        #: per-connection cap on admitted-but-unwritten responses: past
+        #: it the read loop stops admitting, which stops reading, which
+        #: pushes TCP backpressure onto a client that isn't reading —
+        #: server memory stays bounded no matter how a client behaves
+        self._max_pipeline = max_pipeline
+        #: how long a drain waits for a connection's queued responses to
+        #: reach a slow client before dropping them (shutdown must not
+        #: hang on a client that stopped reading)
+        self._drain_timeout = drain_timeout
+        self._batcher = _MicroBatcher(
+            registry, self.stats, max_batch=max_batch, hold_s=hold_us / 1e6
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._bound: Address | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._closing = False
+        self._closed = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, address: str | Address) -> "AsyncOptimizerServer":
+        """Bind and begin accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        addr = parse_address(address)
+        if addr.kind == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=addr.path, limit=self._max_line_bytes
+            )
+            self._bound = addr
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, addr.host, addr.port,
+                limit=self._max_line_bytes,
+            )
+            host, port = self._server.sockets[0].getsockname()[:2]
+            self._bound = Address("tcp", host=host, port=int(port))
+        return self
+
+    @property
+    def address(self) -> Address:
+        """The actually bound endpoint (resolves an ephemeral port 0)."""
+        if self._bound is None:
+            raise RuntimeError("server is not started")
+        return self._bound
+
+    async def aclose(self) -> None:
+        """Graceful drain: stop accepting, stop reading, answer every
+        admitted request, flush the batcher, close all connections."""
+        if self._closing:
+            await self._closed.wait()
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # interrupt each connection's read loop; its handler flushes the
+        # responses already queued (bounded by drain_timeout per
+        # connection for clients that stopped reading) before closing
+        for task in list(self._connections):
+            task.cancel()
+        self._batcher.flush("drain")
+        if self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+        # lines admitted while the read loops were being cancelled may
+        # have queued new work — resolve it so no waiter leaks
+        self._batcher.flush("drain")
+        if self._bound is not None and self._bound.kind == "unix":
+            with contextlib.suppress(OSError):
+                os.unlink(self._bound.path)
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        self.stats.connections_opened += 1
+        responses: asyncio.Queue = asyncio.Queue()
+        # the pipelining bound: acquired per admitted request, released
+        # by the writer once the response is out (or dropped)
+        window = asyncio.Semaphore(self._max_pipeline)
+        writer_task = asyncio.create_task(
+            self._write_responses(responses, writer, window)
+        )
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # a line beyond the transport cap: answer in-band,
+                    # then close — framing past it is unknowable
+                    self._count_admitted()
+                    responses.put_nowait(("done", {
+                        "ok": False,
+                        "error": f"request line exceeds {self._max_line_bytes} bytes",
+                    }))
+                    break
+                if not line:
+                    break
+                text = line.strip()
+                if not text:
+                    continue
+                # blocks only when the client is max_pipeline responses
+                # behind — reading stops, and TCP pushes back
+                await window.acquire()
+                # admission is synchronous: when every readable line has
+                # been admitted the loop turn ends, and that is exactly
+                # when the batcher's end-of-turn flush fires
+                self._admit_line(
+                    text.decode("utf-8", "replace"), responses.put_nowait
+                )
+        except asyncio.CancelledError:
+            pass  # drain: stop reading, fall through to flush the queue
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # the client vanished; answer what we can, then close
+        finally:
+            responses.put_nowait(None)
+            await self._drain_writer(writer_task, responses)
+            writer.close()
+            try:
+                # close() flushes buffered data first — which never ends
+                # when the peer stopped reading, so bound it and abort
+                await asyncio.wait_for(writer.wait_closed(), self._drain_timeout)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                writer.transport.abort()
+                with contextlib.suppress(asyncio.CancelledError, Exception):
+                    await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self.stats.connections_closed += 1
+            self._connections.discard(task)
+
+    async def _drain_writer(
+        self, writer_task: asyncio.Task, responses: asyncio.Queue
+    ) -> None:
+        """Give already-admitted responses up to ``drain_timeout`` to
+        reach the client, tolerating the drain cancellation itself —
+        then drop the remainder: a client that stopped reading must
+        never wedge shutdown."""
+        cancels = 0
+        while not writer_task.done():
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(writer_task), self._drain_timeout
+                )
+            except asyncio.TimeoutError:
+                writer_task.cancel()  # stalled client: drop the rest
+                break
+            except asyncio.CancelledError:
+                # first cancel is aclose() interrupting the wait — keep
+                # draining; repeats mean event-loop rundown: stop
+                cancels += 1
+                if cancels >= 2:
+                    writer_task.cancel()
+                    break
+            except Exception:
+                break
+        with contextlib.suppress(asyncio.CancelledError, Exception):
+            await writer_task
+        # whatever never reached the writer still counts as answered for
+        # the in-flight gauge
+        while True:
+            try:
+                item = responses.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not None:
+                self.stats.in_flight -= 1
+
+    def _count_admitted(self) -> None:
+        self.stats.requests += 1
+        self.stats.in_flight += 1
+        self.stats.peak_in_flight = max(
+            self.stats.peak_in_flight, self.stats.in_flight
+        )
+
+    def _admit_line(self, text: str, enqueue: Callable[[tuple], None]) -> None:
+        """Admit one request line without yielding: immediate responses
+        enqueue as ``("done", doc)``, query requests enter the shared
+        micro-batch and enqueue as ``("query", kind, id, future)``."""
+        self._count_admitted()
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            enqueue(("done", {"ok": False, "error": f"invalid JSON: {exc}"}))
+            return
+        request_id = obj.get("id") if isinstance(obj, dict) else None
+        try:
+            if isinstance(obj, dict) and obj.get("op") == "shutdown":
+                enqueue(("done", self._handle_shutdown(request_id)))
+                return
+            extracted = extract_queries(
+                obj,
+                default_preset=self._default_preset,
+                max_queries=self._max_queries,
+            )
+            if extracted is None:
+                response = handle_op(obj, self.registry)
+                if obj.get("op") == "stats":
+                    # the socket transport reports itself alongside the
+                    # registry (stdio responses are unchanged)
+                    response["server"] = self.stats.as_dict()
+                if request_id is not None:
+                    response["id"] = request_id
+                enqueue(("done", response))
+                return
+            kind, queries = extracted
+            # admission-validate *before* entering the shared batch: one
+            # client's bad query must never poison a flush that carries
+            # other clients' requests
+            normalized = [self._admit_query(query) for query in queries]
+        except (TypeError, ValueError, OverflowError) as exc:
+            enqueue(("done", error_response(exc, request_id)))
+            return
+        except Exception as exc:  # noqa: BLE001 — a multi-client server
+            # answers in-band and keeps serving rather than dying
+            enqueue(("done", self._internal_error(exc, request_id)))
+            return
+        enqueue(("query", kind, request_id, self._batcher.submit(normalized)))
+
+    def _admit_query(self, query: Query) -> Query:
+        """The :func:`~repro.service.batch.as_query` checks, applied in
+        place: ``query_from_obj`` already coerced the field types, so
+        validating via the shared :func:`check_query_values` without
+        rebuilding the (frozen) Query keeps admission cheap."""
+        check_query_values(query.d, query.m)
+        self.registry.params(query.preset)  # unknown presets fail here
+        return query
+
+    @staticmethod
+    def _internal_error(exc: BaseException, request_id) -> dict:
+        response: dict = {"ok": False, "error": f"internal server error: {exc}"}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    def _handle_shutdown(self, request_id) -> dict:
+        """Acknowledge, then drain in the background.  The ack is queued
+        before the drain cancels the reader, so it is always written."""
+        asyncio.get_running_loop().create_task(self.aclose())
+        response: dict = {"ok": True, "op": "shutdown", "draining": True}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    async def _write_responses(
+        self,
+        responses: asyncio.Queue,
+        writer: asyncio.StreamWriter,
+        window: asyncio.Semaphore,
+    ) -> None:
+        """Consume the admission queue in FIFO order — resolving query
+        futures as they come up — and write each response."""
+        broken = False
+        while True:
+            item = await responses.get()
+            if item is None:
+                return
+            if item[0] == "done":
+                response = item[1]
+            else:
+                _, kind, request_id, future = item
+                try:
+                    response = build_response(kind, await future, request_id)
+                except Exception as exc:  # noqa: BLE001 — see _admit_line
+                    response = self._internal_error(exc, request_id)
+            self.stats.in_flight -= 1
+            window.release()
+            if not response.get("ok", True):
+                self.stats.errors += 1
+            if broken:
+                continue  # keep consuming so in-flight accounting drains
+            try:
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                self.stats.responses += 1
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                broken = True
+
+
+def run_server(
+    registry: OptimizerRegistry,
+    address: str | Address,
+    *,
+    default_preset: str | None = None,
+    max_batch: int = 64,
+    hold_us: float = 0.0,
+    max_queries: int = MAX_BATCH_QUERIES,
+    install_signal_handlers: bool = True,
+    ready: Callable[[AsyncOptimizerServer], None] | None = None,
+) -> ServerStats:
+    """Serve until shutdown (request, signal, or KeyboardInterrupt);
+    returns the transport stats.  The blocking entry behind
+    ``repro serve --socket``; ``ready`` fires once the socket is bound.
+    """
+
+    async def _main() -> ServerStats:
+        server = AsyncOptimizerServer(
+            registry,
+            default_preset=default_preset,
+            max_batch=max_batch,
+            hold_us=hold_us,
+            max_queries=max_queries,
+        )
+        await server.start(address)
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.add_signal_handler(
+                        sig, lambda: asyncio.ensure_future(server.aclose())
+                    )
+        if ready is not None:
+            ready(server)
+        await server.wait_closed()
+        return server.stats
+
+    return asyncio.run(_main())

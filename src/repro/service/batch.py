@@ -35,7 +35,14 @@ from repro.util.validation import check_block_size, check_dimension
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.service.registry import OptimizerRegistry
 
-__all__ = ["Query", "QueryBatch", "QueryResult", "resolve_queries"]
+__all__ = [
+    "Query",
+    "QueryBatch",
+    "QueryResult",
+    "as_query",
+    "check_query_values",
+    "resolve_queries",
+]
 
 
 @dataclass(frozen=True)
@@ -64,28 +71,46 @@ class QueryResult:
     tag: Any = None
 
 
-def _as_query(item) -> Query:
+def check_query_values(d, m) -> None:
+    """The admission checks every transport shares: one place to add a
+    rule so the stdio loop and the socket server cannot drift apart."""
+    check_dimension(d, minimum=1)
+    check_block_size(m)
+    if not math.isfinite(m):
+        raise ValueError(f"block size must be finite, got {m}")
+
+
+def as_query(item) -> Query:
+    """Normalize and validate one lookup (a :class:`Query` or a bare
+    ``(preset, d, m)`` tuple) — the shared admission check for every
+    resolution path, including the socket transports."""
     if isinstance(item, Query):
         query = item
     else:
         preset, d, m = item
         query = Query(preset=preset, d=d, m=m)
-    check_dimension(query.d, minimum=1)
-    check_block_size(query.m)
-    if not math.isfinite(query.m):
-        raise ValueError(f"block size must be finite, got {query.m}")
+    check_query_values(query.d, query.m)
     return Query(query.preset, int(query.d), float(query.m), query.tag)
 
 
 def resolve_queries(
-    registry: "OptimizerRegistry", queries: Iterable[Query | tuple]
+    registry: "OptimizerRegistry",
+    queries: Iterable[Query | tuple],
+    *,
+    pre_normalized: bool = False,
 ) -> list[QueryResult]:
     """Answer every query, coalescing misses into grid-kernel calls.
 
     Accepts :class:`Query` objects or bare ``(preset, d, m)`` tuples;
-    results come back in input order.
+    results come back in input order.  ``pre_normalized=True`` skips
+    re-validation for callers (like the socket transport's admission
+    path) whose queries already passed :func:`as_query`-grade checks —
+    on a hot serving path the redundant :class:`Query` reconstruction
+    is measurable.
     """
-    return _resolve_normalized(registry, [_as_query(q) for q in queries])
+    if pre_normalized:
+        return _resolve_normalized(registry, list(queries))
+    return _resolve_normalized(registry, [as_query(q) for q in queries])
 
 
 def _resolve_normalized(
@@ -180,12 +205,12 @@ class QueryBatch:
 
     def add(self, preset: str, d: int, m: float, *, tag: Any = None) -> int:
         """Queue one lookup; returns its index in the result list."""
-        self._queries.append(_as_query(Query(preset, d, m, tag)))
+        self._queries.append(as_query(Query(preset, d, m, tag)))
         return len(self._queries) - 1
 
     def extend(self, queries: Iterable[Query | tuple]) -> None:
         """Queue many lookups (``Query`` objects or bare tuples)."""
-        normalized = [_as_query(q) for q in queries]
+        normalized = [as_query(q) for q in queries]
         # validate everything first so a bad item leaves the batch
         # unchanged instead of half-queued
         self._queries.extend(normalized)

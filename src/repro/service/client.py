@@ -1,0 +1,317 @@
+"""Client library for the optimizer query service socket transport.
+
+Two clients over the same JSON-lines protocol the stdio loop speaks
+(:mod:`repro.service.server`), pointed at a socket server
+(:mod:`repro.service.async_server`):
+
+:class:`ServiceClient`
+    Blocking sockets, for scripts and the ``repro query --connect``
+    CLI.  :meth:`ServiceClient.query_many` pipelines: every request is
+    written before the first response is read, so a server that
+    micro-batches across in-flight requests sees them all at once.
+:class:`AsyncServiceClient`
+    The same surface on asyncio streams, for concurrent load
+    generators and services embedding the client in an event loop.
+
+Addresses are written ``HOST:PORT`` (TCP; a bare ``:PORT`` binds
+loopback) or ``unix:PATH`` / any spec containing ``/`` (Unix domain
+socket), parsed by :func:`parse_address`:
+
+>>> parse_address("127.0.0.1:7831")
+Address(kind='tcp', host='127.0.0.1', port=7831, path='')
+>>> str(parse_address("unix:/tmp/repro.sock"))
+'unix:/tmp/repro.sock'
+
+Responses are the protocol's JSON documents as plain dicts;
+:meth:`~ServiceClient.query` raises :class:`ServiceError` when the
+server answers ``{"ok": false}`` so callers cannot mistake an in-band
+error for a result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Address",
+    "AsyncServiceClient",
+    "ServiceClient",
+    "ServiceError",
+    "parse_address",
+]
+
+
+class ServiceError(RuntimeError):
+    """The server answered a request with ``{"ok": false}``."""
+
+    def __init__(self, response: dict) -> None:
+        super().__init__(response.get("error", "unknown service error"))
+        #: the full error document the server sent back
+        self.response = response
+
+
+@dataclass(frozen=True)
+class Address:
+    """One serving endpoint: TCP ``host:port`` or a Unix socket path."""
+
+    kind: str  # "tcp" | "unix"
+    host: str = ""
+    port: int = 0
+    path: str = ""
+
+    def __str__(self) -> str:
+        if self.kind == "unix":
+            return f"unix:{self.path}"
+        return f"{self.host}:{self.port}"
+
+
+def parse_address(spec: str | Address) -> Address:
+    """Parse ``HOST:PORT``, ``:PORT``, ``unix:PATH``, or a filesystem
+    path into an :class:`Address` (an :class:`Address` passes through).
+    """
+    if isinstance(spec, Address):
+        return spec
+    if not isinstance(spec, str) or not spec:
+        raise ValueError("address must be 'HOST:PORT' or 'unix:PATH'")
+    if spec.startswith("unix:"):
+        path = spec[len("unix:"):]
+        if not path:
+            raise ValueError("unix socket address has an empty path")
+        return Address("unix", path=path)
+    if "/" in spec:
+        # a bare filesystem path is unambiguous — treat it as a socket
+        return Address("unix", path=spec)
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        raise ValueError(
+            f"address {spec!r} is not 'HOST:PORT' or 'unix:PATH'"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"address {spec!r} has a non-integer port") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port {port} is out of range 0..65535")
+    return Address("tcp", host=host or "127.0.0.1", port=port)
+
+
+def _query_request(item, default_preset: str | None) -> dict:
+    """One protocol request document from a client-side query spec."""
+    if isinstance(item, dict):
+        doc = dict(item)
+    elif isinstance(item, Sequence) and len(item) == 3:
+        doc = {"preset": item[0], "d": item[1], "m": item[2]}
+    elif isinstance(item, Sequence) and len(item) == 2:
+        doc = {"d": item[0], "m": item[1]}
+    else:
+        raise ValueError(
+            f"query must be a dict, (d, m), or (preset, d, m); got {item!r}"
+        )
+    if default_preset is not None:
+        doc.setdefault("preset", default_preset)
+    return doc
+
+
+class ServiceClient:
+    """Blocking JSON-lines client for one server connection.
+
+    Usable as a context manager; the connection closes on exit.
+    """
+
+    def __init__(self, address: str | Address, *, timeout: float | None = 30.0) -> None:
+        addr = parse_address(address)
+        if addr.kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(addr.path)
+        else:
+            sock = socket.create_connection((addr.host, addr.port), timeout=timeout)
+            sock.settimeout(timeout)
+        self.address = addr
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _write_lines(self, docs: Iterable[dict]) -> None:
+        payload = b"".join(json.dumps(doc).encode() + b"\n" for doc in docs)
+        self._file.write(payload)
+        self._file.flush()
+
+    def _read_response(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def request(self, obj: dict) -> dict:
+        """One request, one response — no interpretation of either."""
+        self._write_lines([obj])
+        return self._read_response()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, d: int, m: float, *, preset: str | None = None) -> dict:
+        """One lookup; raises :class:`ServiceError` on an error answer."""
+        doc: dict[str, Any] = {"d": d, "m": m}
+        if preset is not None:
+            doc["preset"] = preset
+        response = self.request(doc)
+        if not response.get("ok", False):
+            raise ServiceError(response)
+        return response
+
+    def query_many(
+        self, queries: Iterable, *, preset: str | None = None
+    ) -> list[dict]:
+        """Pipelined lookups: write every request, then read every
+        response (in request order — the protocol guarantees it).
+        Returns the raw response documents; callers inspect ``ok``.
+        """
+        docs = [_query_request(q, preset) for q in queries]
+        if not docs:
+            return []
+        self._write_lines(docs)
+        return [self._read_response() for _ in docs]
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The server's live counters (registry stats; socket servers
+        add a ``server`` section with transport/batcher counters)."""
+        response = self.request({"op": "stats"})
+        if not response.get("ok", False):
+            raise ServiceError(response)
+        return response
+
+    def presets(self) -> list[str]:
+        response = self.request({"op": "presets"})
+        if not response.get("ok", False):
+            raise ServiceError(response)
+        return list(response["presets"])
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and exit (socket transport only)."""
+        response = self.request({"op": "shutdown"})
+        if not response.get("ok", False):
+            raise ServiceError(response)
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncServiceClient:
+    """The same client surface on asyncio streams.
+
+    >>> # client = await AsyncServiceClient.connect("127.0.0.1:7831")
+    >>> # await client.query(7, 40)  ->  {"ok": True, "partition": [4, 3], ...}
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.address = address
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(
+        cls, address: str | Address, *, timeout: float | None = 30.0
+    ) -> "AsyncServiceClient":
+        addr = parse_address(address)
+        if addr.kind == "unix":
+            open_coro = asyncio.open_unix_connection(addr.path)
+        else:
+            open_coro = asyncio.open_connection(addr.host, addr.port)
+        reader, writer = await asyncio.wait_for(open_coro, timeout)
+        return cls(addr, reader, writer)
+
+    async def _write_lines(self, docs: Iterable[dict]) -> None:
+        payload = b"".join(json.dumps(doc).encode() + b"\n" for doc in docs)
+        self._writer.write(payload)
+        await self._writer.drain()
+
+    async def _read_response(self) -> dict:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    async def request(self, obj: dict) -> dict:
+        await self._write_lines([obj])
+        return await self._read_response()
+
+    async def query(self, d: int, m: float, *, preset: str | None = None) -> dict:
+        doc: dict[str, Any] = {"d": d, "m": m}
+        if preset is not None:
+            doc["preset"] = preset
+        response = await self.request(doc)
+        if not response.get("ok", False):
+            raise ServiceError(response)
+        return response
+
+    async def query_many(
+        self, queries: Iterable, *, preset: str | None = None
+    ) -> list[dict]:
+        """Pipelined lookups: one write carries every request, then the
+        responses stream back in order."""
+        docs = [_query_request(q, preset) for q in queries]
+        if not docs:
+            return []
+        await self._write_lines(docs)
+        return [await self._read_response() for _ in docs]
+
+    async def stats(self) -> dict:
+        response = await self.request({"op": "stats"})
+        if not response.get("ok", False):
+            raise ServiceError(response)
+        return response
+
+    async def presets(self) -> list[str]:
+        response = await self.request({"op": "presets"})
+        if not response.get("ok", False):
+            raise ServiceError(response)
+        return list(response["presets"])
+
+    async def shutdown(self) -> dict:
+        response = await self.request({"op": "shutdown"})
+        if not response.get("ok", False):
+            raise ServiceError(response)
+        return response
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

@@ -18,6 +18,13 @@ protocol is deliberately tiny:
 Malformed lines answer ``{"ok": false, "error": ...}`` and the loop
 keeps serving; EOF ends the session.  Responses are flushed per line
 so pipe-driven clients can interleave requests and replies.
+
+The request/response shaping lives in the public helpers
+:func:`query_from_obj`, :func:`extract_queries`, and
+:func:`result_to_dict` so every transport — this stdio loop and the
+socket server of :mod:`repro.service.async_server` — speaks byte-for-
+byte the same protocol; :func:`handle_request` is the single source of
+truth for request semantics.
 """
 
 from __future__ import annotations
@@ -28,10 +35,25 @@ from typing import IO, Any
 from repro.service.batch import Query, resolve_queries
 from repro.service.registry import OptimizerRegistry, RegistryStats
 
-__all__ = ["handle_request", "serve"]
+__all__ = [
+    "MAX_BATCH_QUERIES",
+    "build_response",
+    "error_response",
+    "extract_queries",
+    "handle_op",
+    "handle_request",
+    "query_from_obj",
+    "result_to_dict",
+    "serve",
+]
+
+#: per-request ceiling on batched queries — a malformed or hostile
+#: client must not be able to schedule an unbounded grid evaluation
+#: with one line; overridable per server for tests and small deployments
+MAX_BATCH_QUERIES = 4096
 
 
-def _query_from_obj(obj: dict, default_preset: str | None) -> Query:
+def query_from_obj(obj: dict, default_preset: str | None) -> Query:
     if not isinstance(obj, dict):
         raise ValueError(f"query must be an object, got {type(obj).__name__}")
     unknown = set(obj) - {"preset", "d", "m", "id"}
@@ -53,7 +75,8 @@ def _query_from_obj(obj: dict, default_preset: str | None) -> Query:
     return Query(preset=preset, d=d, m=float(m), tag=obj.get("id"))
 
 
-def _result_to_dict(result) -> dict:
+def result_to_dict(result) -> dict:
+    """The JSON-ready response document for one :class:`QueryResult`."""
     doc = {
         "ok": True,
         "preset": result.preset,
@@ -68,39 +91,94 @@ def _result_to_dict(result) -> dict:
     return doc
 
 
+def extract_queries(
+    obj: Any,
+    *,
+    default_preset: str | None = None,
+    max_queries: int = MAX_BATCH_QUERIES,
+) -> tuple[str, list[Query]] | None:
+    """Classify a decoded request as a query request.
+
+    Returns ``("single", [query])`` for the one-lookup form,
+    ``("batch", queries)`` for the array/``queries`` forms, or ``None``
+    when the request is an op (or not a query request at all — the op
+    dispatcher owns those).  Raises :class:`ValueError` on malformed
+    query requests, including batches larger than ``max_queries``.
+    """
+    if isinstance(obj, dict) and "op" in obj:
+        return None
+    if isinstance(obj, list) or (isinstance(obj, dict) and "queries" in obj):
+        items = obj if isinstance(obj, list) else obj["queries"]
+        if not isinstance(items, list):
+            raise ValueError("'queries' must be an array")
+        if len(items) > max_queries:
+            raise ValueError(
+                f"batch of {len(items)} queries exceeds the per-request "
+                f"limit of {max_queries}"
+            )
+        return "batch", [query_from_obj(item, default_preset) for item in items]
+    if isinstance(obj, dict):
+        return "single", [query_from_obj(obj, default_preset)]
+    raise ValueError(f"request must be an object or array, got {type(obj).__name__}")
+
+
+def handle_op(obj: dict, registry: OptimizerRegistry) -> dict:
+    """Answer one ``{"op": ...}`` request (id is attached by the caller)."""
+    op = obj["op"]
+    if op == "stats":
+        return {"ok": True, "op": "stats", "stats": registry.stats.as_dict()}
+    if op == "presets":
+        return {"ok": True, "op": "presets", "presets": list(registry.preset_names)}
+    raise ValueError(f"unknown op {op!r}; use 'stats' or 'presets'")
+
+
+def build_response(
+    kind: str, results: list, request_id: Any = None
+) -> dict:
+    """Shape resolved results the way :func:`handle_request` does.
+
+    The ``single`` form returns the bare result document (its ``id``
+    rides on the query tag); the ``batch`` form wraps the documents in
+    ``{"ok": true, "results": [...]}`` with the request id echoed.
+    """
+    if kind == "single":
+        return result_to_dict(results[0])
+    response: dict = {"ok": True, "results": [result_to_dict(r) for r in results]}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_response(exc: BaseException, request_id: Any = None) -> dict:
+    """The canonical in-band error document."""
+    response: dict = {"ok": False, "error": str(exc)}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
 def handle_request(
     obj: Any,
     registry: OptimizerRegistry,
     *,
     default_preset: str | None = None,
+    max_queries: int = MAX_BATCH_QUERIES,
 ) -> dict:
     """Answer one decoded request object (see module docstring)."""
     request_id = obj.get("id") if isinstance(obj, dict) else None
     try:
-        if isinstance(obj, dict) and "op" in obj:
-            op = obj["op"]
-            if op == "stats":
-                response = {"ok": True, "op": "stats", "stats": registry.stats.as_dict()}
-            elif op == "presets":
-                response = {"ok": True, "op": "presets", "presets": list(registry.preset_names)}
-            else:
-                raise ValueError(f"unknown op {op!r}; use 'stats' or 'presets'")
-        elif isinstance(obj, list) or (isinstance(obj, dict) and "queries" in obj):
-            items = obj if isinstance(obj, list) else obj["queries"]
-            if not isinstance(items, list):
-                raise ValueError("'queries' must be an array")
-            queries = [_query_from_obj(item, default_preset) for item in items]
-            results = resolve_queries(registry, queries)
-            response = {"ok": True, "results": [_result_to_dict(r) for r in results]}
-        elif isinstance(obj, dict):
-            query = _query_from_obj(obj, default_preset)
-            return _result_to_dict(resolve_queries(registry, [query])[0])
+        extracted = extract_queries(
+            obj, default_preset=default_preset, max_queries=max_queries
+        )
+        if extracted is None:
+            response = handle_op(obj, registry)
         else:
-            raise ValueError(f"request must be an object or array, got {type(obj).__name__}")
+            kind, queries = extracted
+            return build_response(kind, resolve_queries(registry, queries), request_id)
     except (TypeError, ValueError, OverflowError) as exc:
         # OverflowError: e.g. an integer m too large for float() —
         # still a malformed request, never a reason to die
-        response = {"ok": False, "error": str(exc)}
+        return error_response(exc, request_id)
     if request_id is not None:
         response["id"] = request_id
     return response
@@ -112,6 +190,7 @@ def serve(
     out_stream: IO[str],
     *,
     default_preset: str | None = None,
+    max_queries: int = MAX_BATCH_QUERIES,
 ) -> RegistryStats:
     """Run the request loop until EOF; returns the final stats.
 
@@ -135,7 +214,9 @@ def serve(
         except json.JSONDecodeError as exc:
             response = {"ok": False, "error": f"invalid JSON: {exc}"}
         else:
-            response = handle_request(obj, registry, default_preset=default_preset)
+            response = handle_request(
+                obj, registry, default_preset=default_preset, max_queries=max_queries
+            )
         try:
             out_stream.write(json.dumps(response) + "\n")
             out_stream.flush()

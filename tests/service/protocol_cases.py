@@ -1,0 +1,63 @@
+"""Protocol error cases shared by every transport's test suite.
+
+One table of (request line, expected error fragment) pairs; the stdio
+loop (`tests/service/test_server.py`) and the socket transport
+(`tests/service/test_async_server.py`) parametrize over the same rows,
+so a transport cannot drift from :func:`handle_request`'s semantics
+without both suites noticing.
+
+Every case assumes a server with **no default preset** and a
+``max_queries`` admission limit of :data:`CASE_MAX_QUERIES`.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: per-request batch limit both transports are configured with in tests
+CASE_MAX_QUERIES = 8
+
+#: a request that must always succeed — chased after each error case to
+#: prove the session survived
+VALID_LINE = '{"preset": "ipsc860", "d": 7, "m": 40}'
+
+ERROR_CASES: list[tuple[str, str, str]] = [
+    ("malformed-json", "{not json", "invalid JSON"),
+    ("non-object", '"just a string"', "request must be an object or array"),
+    ("missing-m", '{"preset": "ipsc860", "d": 7}', "'m'"),
+    ("missing-d", '{"preset": "ipsc860", "m": 40}', "'d'"),
+    (
+        "unknown-field",
+        '{"preset": "ipsc860", "d": 7, "m": 1, "x": 2}',
+        "unknown query fields",
+    ),
+    ("float-d", '{"preset": "ipsc860", "d": 7.5, "m": 40}', "d must be an integer"),
+    ("string-m", '{"preset": "ipsc860", "d": 7, "m": "wide"}', "m must be a number"),
+    ("negative-m", '{"preset": "ipsc860", "d": 7, "m": -1}', "block size"),
+    ("zero-d", '{"preset": "ipsc860", "d": 0, "m": 1}', "dimension"),
+    ("numeric-preset", '{"preset": 7, "d": 7, "m": 40}', "preset must be a string"),
+    ("unknown-preset", '{"preset": "cray", "d": 7, "m": 40}', "unknown machine preset"),
+    ("no-default-preset", '{"d": 7, "m": 40}', "no machine preset"),
+    ("queries-not-array", '{"queries": 5}', "'queries' must be an array"),
+    ("unknown-op", '{"op": "selfdestruct"}', "unknown op"),
+    (
+        "oversized-batch",
+        json.dumps(
+            {"queries": [{"preset": "ipsc860", "d": 7, "m": 1}] * (CASE_MAX_QUERIES + 1)}
+        ),
+        f"exceeds the per-request limit of {CASE_MAX_QUERIES}",
+    ),
+    (
+        "bad-query-inside-batch",
+        '{"queries": [{"preset": "ipsc860", "d": 7, "m": 40}, '
+        '{"preset": "ipsc860", "d": -2, "m": 40}]}',
+        "dimension",
+    ),
+    (
+        "overflowing-m",
+        '{"preset": "ipsc860", "d": 7, "m": ' + "9" * 400 + "}",
+        "",  # float overflow wording is Python's; any in-band error will do
+    ),
+]
+
+CASE_IDS = [case_id for case_id, _, _ in ERROR_CASES]

@@ -1,0 +1,137 @@
+"""Tests for the sync/async client library and address parsing."""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import pytest
+
+from repro.service import OptimizerRegistry
+from repro.service.async_server import run_server
+from repro.service.client import (
+    Address,
+    ServiceClient,
+    ServiceError,
+    parse_address,
+)
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.1.2.3:7831") == Address("tcp", host="10.1.2.3", port=7831)
+
+    def test_bare_port_binds_loopback(self):
+        assert parse_address(":7831") == Address("tcp", host="127.0.0.1", port=7831)
+
+    def test_unix_prefix(self):
+        addr = parse_address("unix:/tmp/x.sock")
+        assert addr.kind == "unix" and addr.path == "/tmp/x.sock"
+        assert str(addr) == "unix:/tmp/x.sock"
+
+    def test_bare_path_is_unix(self):
+        assert parse_address("/var/run/repro.sock").kind == "unix"
+
+    def test_address_passthrough(self):
+        addr = Address("tcp", host="h", port=1)
+        assert parse_address(addr) is addr
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "localhost", "host:notaport", "host:70000", "unix:"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+    def test_tcp_str_roundtrips(self):
+        assert str(parse_address("127.0.0.1:7831")) == "127.0.0.1:7831"
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    """One socket server on a background thread for the sync client."""
+    holder: dict = {}
+    started = threading.Event()
+
+    def runner():
+        registry = OptimizerRegistry()
+
+        def ready(server):
+            holder["address"] = str(server.address)
+            started.set()
+
+        holder["stats"] = run_server(
+            registry,
+            "127.0.0.1:0",
+            default_preset="ipsc860",
+            install_signal_handlers=False,
+            ready=ready,
+        )
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(10), "server never came up"
+    yield holder["address"]
+    if thread.is_alive():
+        with contextlib.suppress(Exception):
+            with ServiceClient(holder["address"]) as client:
+                client.shutdown()
+        thread.join(10)
+    assert not thread.is_alive()
+
+
+class TestServiceClient:
+    def test_query(self, live_server):
+        with ServiceClient(live_server) as client:
+            response = client.query(7, 40)
+        assert response["partition"] == [4, 3]
+        assert response["preset"] == "ipsc860"
+
+    def test_query_preset_override(self, live_server):
+        with ServiceClient(live_server) as client:
+            response = client.query(6, 24, preset="hypothetical")
+        assert response["partition"] == [3, 3]
+
+    def test_query_error_raises(self, live_server):
+        with ServiceClient(live_server) as client:
+            with pytest.raises(ServiceError, match="unknown machine preset"):
+                client.query(7, 40, preset="cray")
+
+    def test_query_many_pipelines_in_order(self, live_server):
+        queries = [(5, 10.0 * i + 1) for i in range(20)]
+        with ServiceClient(live_server) as client:
+            responses = client.query_many(queries)
+        assert len(responses) == 20
+        assert all(r["ok"] for r in responses)
+        assert [r["m"] for r in responses] == [m for _, m in queries]
+
+    def test_query_many_accepts_triples_and_dicts(self, live_server):
+        with ServiceClient(live_server) as client:
+            responses = client.query_many(
+                [("hypothetical", 6, 24.0), {"d": 7, "m": 40, "id": "x"}],
+            )
+        assert responses[0]["preset"] == "hypothetical"
+        assert responses[1]["id"] == "x"
+
+    def test_query_many_empty_is_noop(self, live_server):
+        with ServiceClient(live_server) as client:
+            assert client.query_many([]) == []
+
+    def test_query_many_rejects_garbage_shape(self, live_server):
+        with ServiceClient(live_server) as client:
+            with pytest.raises(ValueError, match="query must be"):
+                client.query_many([(1, 2, 3, 4)])
+
+    def test_stats_and_presets(self, live_server):
+        with ServiceClient(live_server) as client:
+            client.query(7, 40)
+            stats = client.stats()
+            presets = client.presets()
+        assert stats["stats"]["queries"] >= 1
+        assert stats["server"]["connections_opened"] >= 1
+        assert "ipsc860" in presets
+
+    def test_connection_refused_is_an_oserror(self):
+        with pytest.raises(OSError):
+            ServiceClient("127.0.0.1:1", timeout=0.5)

@@ -9,6 +9,7 @@ import pytest
 
 from repro.service.registry import OptimizerRegistry
 from repro.service.server import handle_request, serve
+from tests.service.protocol_cases import CASE_IDS, CASE_MAX_QUERIES, ERROR_CASES, VALID_LINE
 
 
 def run_session(lines, registry=None, **kwargs):
@@ -165,6 +166,45 @@ class TestThousandQuerySession:
         # repeats of an already-answered (d, m) really are memo-served
         repeat = [r for r in answers if r["id"] >= 150]
         assert repeat and all(r["source"] == "memo" for r in repeat)
+
+
+class TestSharedErrorPaths:
+    """The transport-independent error table, on the stdio loop.
+
+    The socket transport runs the same table in
+    ``test_async_server.py`` — the two suites must never diverge.
+    """
+
+    @pytest.mark.parametrize(
+        "case_id,line,needle", ERROR_CASES, ids=CASE_IDS
+    )
+    def test_error_then_keep_serving(self, case_id, line, needle):
+        responses, _ = run_session(
+            [line, VALID_LINE], max_queries=CASE_MAX_QUERIES
+        )
+        assert not responses[0]["ok"], case_id
+        assert needle in responses[0]["error"], responses[0]["error"]
+        # the loop survives every malformed request
+        assert responses[1]["ok"] and responses[1]["partition"] == [4, 3]
+
+
+class TestOversizedBatch:
+    def test_default_limit_allows_large_sane_batches(self):
+        request = json.dumps(
+            {"queries": [{"preset": "ipsc860", "d": 5, "m": float(i)} for i in range(200)]}
+        )
+        responses, _ = run_session([request])
+        assert responses[0]["ok"] and len(responses[0]["results"]) == 200
+
+    def test_oversized_batch_echoes_id_and_leaves_no_stats(self):
+        registry = OptimizerRegistry()
+        request = json.dumps(
+            {"queries": [{"preset": "ipsc860", "d": 5, "m": 1}] * 9, "id": 12}
+        )
+        responses, stats = run_session([request], registry=registry, max_queries=8)
+        assert not responses[0]["ok"] and responses[0]["id"] == 12
+        # rejected before admission: nothing was counted or resolved
+        assert stats.queries == 0
 
 
 class TestPresetTypeErrors:

@@ -221,6 +221,103 @@ class TestServiceCommands:
         assert json.loads(out)["partition"] == [3, 2]
 
 
+class TestSocketServeCommand:
+    """The async transport behind ``repro serve --socket`` and the
+    connected one-shot ``repro query --connect``."""
+
+    def test_socket_serve_warm_query_shutdown(self, tmp_path, capsys):
+        import json
+        import threading
+        import time
+
+        from repro.service.client import ServiceClient
+
+        log = tmp_path / "warm.jsonl"
+        log.write_text('{"d": 7, "m": 40}\n{"queries": [{"d": 5, "m": 8}]}\n')
+        sock = tmp_path / "server.sock"
+        spec = f"unix:{sock}"
+        outcome: dict = {}
+
+        def run_serve():
+            outcome["rc"] = main(["serve", "--socket", spec, "--warm", str(log)])
+
+        thread = threading.Thread(target=run_serve, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not sock.exists():
+            assert time.monotonic() < deadline, "server socket never appeared"
+            time.sleep(0.02)
+
+        err_parts = []
+
+        # a connected one-shot query, answered from the warmed memo
+        assert main(["query", "7", "40", "--connect", spec, "--json"]) == 0
+        captured = capsys.readouterr()
+        err_parts.append(captured.err)
+        doc = json.loads(captured.out)
+        assert doc["partition"] == [4, 3] and doc["source"] == "memo"
+
+        assert main(["query", "5", "8", "--connect", spec]) == 0
+        captured = capsys.readouterr()
+        err_parts.append(captured.err)
+        assert "{2,3}" in captured.out and f"optimizer server at {spec}" in captured.out
+
+        with ServiceClient(spec) as client:
+            client.shutdown()
+        thread.join(10)
+        assert not thread.is_alive() and outcome["rc"] == 0
+        err = "".join(err_parts) + capsys.readouterr().err
+        assert "warm-up: warmed 2 unique queries" in err
+        assert f"serving optimizer queries on {spec}" in err
+        # the exit summary reports served traffic, not the warm-up
+        assert "served 2 queries over 3 connections" in err
+        assert "2 memo hits (100.0%)" in err
+
+    def test_connect_refused_is_a_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot reach optimizer server"):
+            main(["query", "7", "40", "--connect", f"unix:{tmp_path / 'nope.sock'}"])
+
+    def test_connect_excludes_shards(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main([
+                "query", "7", "40",
+                "--connect", "127.0.0.1:1", "--shards", str(tmp_path),
+            ])
+
+    def test_connect_server_error_is_a_clean_exit(self, tmp_path):
+        import threading
+        import time
+
+        sock = tmp_path / "server.sock"
+        spec = f"unix:{sock}"
+        thread = threading.Thread(
+            target=lambda: main(["serve", "--socket", spec]), daemon=True
+        )
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not sock.exists():
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        try:
+            with pytest.raises(SystemExit, match="server error: "):
+                # d=0 is rejected by the server, in-band, as on stdio
+                main(["query", "0", "40", "--connect", spec])
+        finally:
+            from repro.service.client import ServiceClient
+
+            with ServiceClient(spec) as client:
+                client.shutdown()
+            thread.join(10)
+
+    def test_batch_flags_require_socket(self):
+        with pytest.raises(SystemExit, match="only apply to --socket"):
+            main(["serve", "--max-batch", "16"])
+
+    def test_bad_socket_address_rejected(self):
+        with pytest.raises(SystemExit, match="not 'HOST:PORT'"):
+            main(["serve", "--socket", "localhost"])
+
+
 class TestPlanCommand:
     def test_plan_model_policy(self, capsys):
         assert main(["plan", "7", "40"]) == 0
