@@ -7,6 +7,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.comm.program import simulate_exchange
@@ -21,12 +23,32 @@ def test_bench_data_engine(engine, benchmark):
     outcome.verify(check_payload=False)
 
 
-def test_bench_simulator_throughput(benchmark, ipsc):
-    """Discrete-event engine throughput on a mid-size run."""
-    result = benchmark.pedantic(
-        simulate_exchange, args=(6, 24, (3, 3), ipsc), rounds=1, iterations=1
-    )
+@pytest.mark.perf
+def test_bench_simulator_throughput(benchmark, ipsc, record_metrics):
+    """Discrete-event engine throughput on a mid-size run.
+
+    Marked ``perf`` so the perf-baselines CI job runs it and uploads
+    its metrics: it records events/second via ``record_metrics``,
+    giving the regression harness an event-engine datum to hold the
+    fast path against (informational — an absolute rate is machine
+    dependent, so it is not gated in baselines.json).
+    """
+    measured: dict[str, float] = {}
+
+    def run_once():
+        t0 = time.perf_counter()
+        result = simulate_exchange(6, 24, (3, 3), ipsc)
+        measured["elapsed_s"] = time.perf_counter() - t0
+        measured["n_events"] = result.run.n_events
+        return result
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
     assert result.run.n_events > 0
+    record_metrics(
+        "engine_throughput",
+        events_per_second=measured["n_events"] / measured["elapsed_s"],
+        n_events=measured["n_events"],
+    )
     # sanity: the virtual machine finished and produced verified data
     result.verify(check_payload=False)
 

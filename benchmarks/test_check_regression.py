@@ -143,6 +143,7 @@ class TestMain:
             "service_throughput",
             "planner_cache",
             "async_serving",
+            "fastpath",
         }
         for metrics in doc["benchmarks"].values():
             assert all(value > 1.0 for value in metrics.values())

@@ -29,7 +29,10 @@ Package map
 :mod:`repro.hypercube`
     Topology, e-cube routing, contention analysis.
 :mod:`repro.sim`
-    Discrete-event circuit-switched machine.
+    Discrete-event circuit-switched machine, plus the vectorized
+    lockstep fast path (:mod:`repro.sim.fastpath`) that prices
+    schedules — contention-free and the contended naive baseline —
+    without booting coroutine processes.
 :mod:`repro.comm`
     Communicator facade and schedule replay on the simulator.
 :mod:`repro.analysis`
@@ -83,6 +86,7 @@ from repro.model import (
 )
 from repro.plan import (
     CollectivePlanner,
+    ContentionPolicy,
     FixedPolicy,
     ModelPolicy,
     PlanDecision,
@@ -97,7 +101,15 @@ from repro.service import (
     QueryResult,
     ServiceClient,
 )
-from repro.sim import SimulatedHypercube
+from repro.sim import (
+    SimulatedHypercube,
+    batch_exchange_times,
+    exchange_time,
+    exchange_timeline,
+    exchange_times,
+    naive_contention_summary,
+    naive_exchange_time,
+)
 
 __version__ = "1.0.0"
 
@@ -106,6 +118,7 @@ __all__ = [
     "AsyncServiceClient",
     "CollectivePlanner",
     "Communicator",
+    "ContentionPolicy",
     "DistributedTable",
     "ExchangeOutcome",
     "FixedPolicy",
@@ -123,6 +136,7 @@ __all__ = [
     "__version__",
     "adi_step",
     "analyze_contention",
+    "batch_exchange_times",
     "best_partition",
     "crossover_block_size",
     "distributed_fft2",
@@ -130,12 +144,17 @@ __all__ = [
     "distributed_lookup",
     "distributed_transpose",
     "ecube_path",
+    "exchange_time",
+    "exchange_timeline",
+    "exchange_times",
     "hull_of_optimality",
     "hypothetical",
     "ipsc860",
     "multiphase_exchange",
     "multiphase_schedule",
     "multiphase_time",
+    "naive_contention_summary",
+    "naive_exchange_time",
     "optimal_exchange",
     "optimal_time",
     "partition_count",

@@ -29,6 +29,7 @@ from repro.analysis.tables import (
 )
 from repro.analysis.validation import (
     APP_WORKLOADS,
+    ENGINES,
     PlanValidationReport,
     ValidationRow,
     validate_policy,
@@ -36,6 +37,7 @@ from repro.analysis.validation import (
 
 __all__ = [
     "APP_WORKLOADS",
+    "ENGINES",
     "FIGURE_SPECS",
     "FigureData",
     "FigureSpec",

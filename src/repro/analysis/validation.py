@@ -11,7 +11,15 @@ rows report the simulated time alone.
 
 This closes the loop the planner opens: the optimizer chooses, the
 apps run the choice, and this report shows the choice was priced
-correctly.  ``repro apps --policy {fixed,model,service}`` renders it.
+correctly.  ``repro apps`` / ``repro validate`` render it.
+
+Decisions are replayed on the vectorized fast path by default
+(``engine="fast"``, :mod:`repro.sim.fastpath`): float-identical to
+the event engine on contention-free schedules, reservation-replay
+pricing for the naive baseline, and cheap enough to validate at
+sweep scale.  Pass ``engine="event"`` to spot-check against the
+coroutine discrete-event engine (authoritative for data movement,
+faults, and FORCED semantics).
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.plan.decision import format_partition
 
 __all__ = [
     "APP_WORKLOADS",
+    "ENGINES",
     "PlanValidationReport",
     "ValidationRow",
     "validate_policy",
@@ -110,12 +119,18 @@ class ValidationRow:
     rel_error: float | None
 
 
+#: the decision-replay engines ``validate_policy`` accepts
+ENGINES = ("fast", "event")
+
+
 @dataclass
 class PlanValidationReport:
     """Payload-verified app runs plus per-decision timing agreement."""
 
     policy: str
     params_name: str
+    #: which simulator replayed the decisions ("fast" or "event")
+    engine: str = "fast"
     rows: list[ValidationRow] = field(default_factory=list)
     verified_apps: list[str] = field(default_factory=list)
     #: plan records observed in the simulator traces of the replayed
@@ -130,7 +145,8 @@ class PlanValidationReport:
 
     def render(self) -> str:
         lines = [
-            f"planner validation under policy '{self.policy}' on {self.params_name}:",
+            f"planner validation under policy '{self.policy}' on "
+            f"{self.params_name} [{self.engine} engine]:",
             f"  apps verified (payload-checked): {', '.join(self.verified_apps)}",
             "  app        d  m(B)    algorithm     partition  "
             "predicted(us)  simulated(us)  rel.err",
@@ -172,6 +188,7 @@ def validate_policy(
     *,
     params: MachineParams | None = None,
     apps: Sequence[str] | None = None,
+    engine: str = "fast",
 ) -> PlanValidationReport:
     """Run the app workloads under ``policy`` and price every decision.
 
@@ -180,11 +197,19 @@ def validate_policy(
     calibration.  Each app gets a fresh
     :class:`~repro.plan.planner.CollectivePlanner` over the shared
     policy — per-run plan caches, one audit log per app.
+
+    ``engine`` selects the decision-replay simulator: ``"fast"`` (the
+    default) prices every decision with the vectorized fast path —
+    float-identical to the event engine on contention-free schedules —
+    while ``"event"`` replays each decision on the coroutine
+    discrete-event machine (the spot-check mode).
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     p = params if params is not None else PRESETS["ipsc860"]()
     pol = policy if policy is not None else FixedPolicy(params=p)
     names = list(apps) if apps is not None else list(APP_WORKLOADS)
-    report = PlanValidationReport(policy=pol.name, params_name=p.name)
+    report = PlanValidationReport(policy=pol.name, params_name=p.name, engine=engine)
     for name in names:
         try:
             workload = APP_WORKLOADS[name]
@@ -197,7 +222,8 @@ def validate_policy(
         report.verified_apps.append(name)
         for decision in planner.unique_decisions():
             result = simulate_planned_exchange(
-                decision.d, int(decision.m), CollectivePlanner(_ReplayPolicy(decision)), p
+                decision.d, int(decision.m), CollectivePlanner(_ReplayPolicy(decision)), p,
+                fast=(engine == "fast"),
             )
             report.n_trace_decisions += len(result.trace.plan_decisions)
             predicted = decision.predicted_us

@@ -40,8 +40,14 @@ Commands
     every scored candidate.
 ``apps``
     Run the application workloads end-to-end under a planning policy
-    (``--policy {fixed,model,service}``), payload-check them, and
-    print the predicted-vs-simulated validation report.
+    (``--policy {fixed,model,service,contention}``), payload-check
+    them, and print the predicted-vs-simulated validation report.
+``validate``
+    The validation report alone, replaying every planner decision on
+    the chosen simulator: ``--engine fast`` (default) uses the
+    vectorized lockstep fast path of :mod:`repro.sim.fastpath`,
+    ``--engine event`` spot-checks on the coroutine discrete-event
+    engine.  ``apps`` accepts the same ``--engine`` switch.
 ``demo``
     A one-minute tour: three algorithms, optimizer, simulation.
 
@@ -193,7 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("d", type=int, help="cube dimension")
     p_plan.add_argument("m", type=float, help="block size in bytes")
     p_plan.add_argument(
-        "--policy", default="model", choices=("fixed", "model", "service"),
+        "--policy", default="model",
+        choices=("fixed", "model", "service", "contention"),
         help="planning policy (default: model)",
     )
     p_plan.add_argument(
@@ -212,18 +219,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_apps = sub.add_parser(
         "apps", help="run the app workloads under a planning policy"
     )
-    p_apps.add_argument(
-        "--policy", default="model", choices=("fixed", "model", "service"),
-        help="planning policy (default: model)",
+    p_validate = sub.add_parser(
+        "validate",
+        help="replay planner decisions: predicted vs simulated, per app",
     )
-    p_apps.add_argument(
-        "--apps", nargs="+", metavar="APP", default=None,
-        help="subset of workloads (default: transpose fft2d lookup adi)",
-    )
-    p_apps.add_argument(
-        "--shards", metavar="DIR",
-        help="back the service policy with a prebuilt shard directory",
-    )
+    for p_sub in (p_apps, p_validate):
+        p_sub.add_argument(
+            "--policy", default="model",
+            choices=("fixed", "model", "service", "contention"),
+            help="planning policy (default: model)",
+        )
+        p_sub.add_argument(
+            "--apps", nargs="+", metavar="APP", default=None,
+            help="subset of workloads (default: transpose fft2d lookup adi)",
+        )
+        p_sub.add_argument(
+            "--shards", metavar="DIR",
+            help="back the service policy with a prebuilt shard directory",
+        )
+        p_sub.add_argument(
+            "--engine", default="fast", choices=("fast", "event"),
+            help="decision-replay simulator: the vectorized lockstep fast "
+            "path (default) or the coroutine event engine (spot-check)",
+        )
 
     p_sim = sub.add_parser("simulate", help="run one verified simulated exchange")
     p_sim.add_argument("d", type=int, help="cube dimension")
@@ -598,7 +616,12 @@ def cmd_plan(args) -> int:
     ]
     if decision.algorithm == "multiphase":
         candidates.append(("multiphase", decision.partition, decision.predicted_us))
-    candidates.append(("naive", None, None))
+    # the contention policy prices the naive baseline from the fast
+    # path's reservation replay; other policies leave it unpriced
+    naive_us = decision.naive_us
+    if naive_us is None and decision.algorithm == "naive":
+        naive_us = decision.predicted_us
+    candidates.append(("naive", None, naive_us))
     if args.json:
         print(json.dumps({
             "pattern": "exchange",
@@ -638,7 +661,9 @@ def cmd_apps(args) -> int:
     params = _params(args.machine)
     policy = _policy(args)
     try:
-        report = validate_policy(policy, params=params, apps=args.apps)
+        report = validate_policy(
+            policy, params=params, apps=args.apps, engine=args.engine
+        )
     except ValueError as exc:
         raise SystemExit(str(exc))
     print(report.render())
@@ -674,6 +699,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "query": cmd_query,
         "plan": cmd_plan,
         "apps": cmd_apps,
+        "validate": cmd_apps,
         "demo": cmd_demo,
     }[args.command]
     return handler(args)

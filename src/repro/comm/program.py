@@ -101,10 +101,15 @@ class SimulatedExchange:
     #: paper's solid curves
     time_us: float
     trace: Trace
-    run: RunResult
+    #: the event-engine run, or ``None`` for a fast-path timing (no
+    #: processes were booted, no data moved)
+    run: RunResult | None
     #: the planner decision behind this run, when a planner chose the
     #: algorithm (``None`` for directly requested partitions)
     decision: Any = None
+    #: the fast path's per-step :class:`~repro.sim.fastpath.ScheduleTimeline`
+    #: (``None`` on event-engine runs and naive fast-path timings)
+    timeline: Any = None
 
     @property
     def time_s(self) -> float:
@@ -112,6 +117,11 @@ class SimulatedExchange:
 
     def verify(self, *, check_payload: bool = True) -> None:
         """Byte-verify every node's final buffer."""
+        if self.run is None:
+            raise ValueError(
+                "fast-path timings move no data, so there is nothing to "
+                "byte-verify; rerun with fast=False for a verified exchange"
+            )
         for buf in self.run.node_results:
             if isinstance(buf, LayoutBuffer):
                 buf.verify_final(check_payload=check_payload)
@@ -127,19 +137,42 @@ def simulate_exchange(
     *,
     engine: str = "tags",
     verify: bool = True,
+    fast: bool = False,
 ) -> SimulatedExchange:
     """Run one complete exchange on a fresh simulated machine.
 
     This is the library's "measured" data point: the virtual time the
     calibrated machine needs for the given partition and block size.
 
+    With ``fast=True`` the timing comes from the vectorized lockstep
+    engine (:mod:`repro.sim.fastpath`) instead of booting coroutine
+    processes — float-identical for these contention-free schedules,
+    orders of magnitude cheaper, but no data moves (``verify`` is
+    ignored; there are no buffers to check).
+
     >>> from repro.model.params import ipsc860
     >>> result = simulate_exchange(3, 16, (2, 1), ipsc860())
     >>> result.time_us > 0
     True
+    >>> simulate_exchange(3, 16, (2, 1), ipsc860(), fast=True).time_us == result.time_us
+    True
     """
     check_dimension(d, minimum=1)
     parts = check_partition(partition if partition is not None else (d,), d)
+    if fast:
+        from repro.sim.fastpath import exchange_timeline
+
+        timeline = exchange_timeline(d, m, parts, params)
+        return SimulatedExchange(
+            d=d,
+            m=m,
+            partition=parts,
+            params_name=params.name,
+            time_us=timeline.total,
+            trace=Trace(),
+            run=None,
+            timeline=timeline,
+        )
     steps = multiphase_schedule(d, parts)
     machine = SimulatedHypercube(d, params)
     run = machine.run(exchange_program, steps=steps, m=m, engine=engine)
@@ -165,6 +198,7 @@ def simulate_planned_exchange(
     *,
     engine: str = "tags",
     verify: bool = True,
+    fast: bool = False,
 ) -> SimulatedExchange:
     """Run one complete exchange with the algorithm chosen by a planner.
 
@@ -174,6 +208,12 @@ def simulate_planned_exchange(
     — is recorded in the run's trace (``trace.plan_decisions``) and
     attached to the result, so a measured time can always be traced
     back to why that algorithm ran.
+
+    With ``fast=True`` the decision is priced by the fast-path engine
+    instead of being replayed on the event machine: float-identical on
+    contention-free schedules, reservation-replay pricing for the
+    naive baseline, no data movement (``verify`` is ignored).  The
+    plan record still lands in the result's trace.
 
     >>> from repro.model.params import ipsc860
     >>> from repro.plan import CollectivePlanner, ModelPolicy
@@ -186,6 +226,30 @@ def simulate_planned_exchange(
     """
     check_dimension(d, minimum=1)
     decision = planner.decide(d, m)
+    if fast:
+        from repro.sim.fastpath import exchange_timeline, naive_exchange_time
+
+        trace = Trace()
+        trace.record_plan(PlanRecord.from_decision(decision))
+        timeline = None
+        if decision.algorithm == "naive":
+            partition: tuple[int, ...] = ()
+            time_us = naive_exchange_time(d, m, params)
+        else:
+            partition = check_partition(decision.partition, d)
+            timeline = exchange_timeline(d, m, partition, params)
+            time_us = timeline.total
+        return SimulatedExchange(
+            d=d,
+            m=m,
+            partition=partition,
+            params_name=params.name,
+            time_us=time_us,
+            trace=trace,
+            run=None,
+            decision=decision,
+            timeline=timeline,
+        )
     machine = SimulatedHypercube(d, params)
     machine.trace.record_plan(PlanRecord.from_decision(decision))
     if decision.algorithm == "naive":
@@ -270,9 +334,28 @@ def simulate_naive_exchange(
     params: MachineParams,
     *,
     verify: bool = True,
+    fast: bool = False,
 ) -> SimulatedExchange:
-    """Measure the naive rotation schedule (contended baseline)."""
+    """Measure the naive rotation schedule (contended baseline).
+
+    With ``fast=True`` the contended timing comes from the fast path's
+    reservation replay (:func:`repro.sim.fastpath.naive_exchange_time`)
+    — same greedy link/port serialization, no coroutines, no data
+    movement (``verify`` is ignored).
+    """
     check_dimension(d, minimum=1)
+    if fast:
+        from repro.sim.fastpath import naive_exchange_time
+
+        return SimulatedExchange(
+            d=d,
+            m=m,
+            partition=(),
+            params_name=params.name,
+            time_us=naive_exchange_time(d, m, params),
+            trace=Trace(),
+            run=None,
+        )
     machine = SimulatedHypercube(d, params)
     run = machine.run(naive_program, m=m)
     result = SimulatedExchange(

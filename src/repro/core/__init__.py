@@ -35,6 +35,7 @@ from repro.core.schedule import (
     optimal_schedule,
     schedule_circuits,
     schedule_stats,
+    schedule_stats_cache_info,
     standard_schedule,
     validate_contention_free,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "run_planned_exchange_on_rows",
     "schedule_circuits",
     "schedule_stats",
+    "schedule_stats_cache_info",
     "shuffle_permutation",
     "standard_exchange",
     "standard_partition",

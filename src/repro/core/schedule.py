@@ -31,6 +31,7 @@ Step vocabulary
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, Sequence, Union
 
 from repro.hypercube.contention import analyze_contention
@@ -48,6 +49,7 @@ __all__ = [
     "optimal_schedule",
     "schedule_circuits",
     "schedule_stats",
+    "schedule_stats_cache_info",
     "standard_schedule",
     "validate_contention_free",
 ]
@@ -180,15 +182,18 @@ def validate_contention_free(steps: Sequence[Step], d: int) -> None:
         )
 
 
-def schedule_stats(steps: Sequence[Step], d: int, m: int) -> dict[str, float]:
-    """Aggregate statistics of a schedule for reporting.
+@lru_cache(maxsize=512)
+def _schedule_stats_basis(steps: tuple[Step, ...], d: int) -> tuple[int, int, int, int, int]:
+    """The block-size-independent aggregates of a schedule.
 
-    Returns transmission count, total bytes sent per node, total
-    hop-weighted transmissions (the distance-impact driver), number of
-    phases, and number of shuffle passes.
+    Memoized per schedule (the step dataclasses are frozen, so a step
+    tuple is a hashable key, and a ``(d, partition)`` pair always
+    compiles to the same steps): sweep loops that query the same
+    schedule at many block sizes walk the step list once.
+    ``bytes_factor`` is the per-node byte volume per unit of ``m``.
     """
     n_transmissions = 0
-    bytes_per_node = 0.0
+    bytes_factor = 0
     hop_sum = 0
     n_phases = 0
     n_shuffles = 0
@@ -197,18 +202,37 @@ def schedule_stats(steps: Sequence[Step], d: int, m: int) -> dict[str, float]:
             n_phases += 1
         elif isinstance(step, ExchangeStep):
             n_transmissions += 1
-            effective = m * (1 << (d - step.group.width))
-            bytes_per_node += effective
+            bytes_factor += 1 << (d - step.group.width)
             hop_sum += step.hops
         elif isinstance(step, ShuffleStep):
             n_shuffles += 1
+    return n_transmissions, bytes_factor, hop_sum, n_phases, n_shuffles
+
+
+def schedule_stats(steps: Sequence[Step], d: int, m: int) -> dict[str, float]:
+    """Aggregate statistics of a schedule for reporting.
+
+    Returns transmission count, total bytes sent per node, total
+    hop-weighted transmissions (the distance-impact driver), number of
+    phases, and number of shuffle passes.  The per-schedule aggregates
+    are memoized per ``(d, partition)`` — only the ``m`` scaling is
+    recomputed per query (see :func:`schedule_stats_cache_info`).
+    """
+    n_transmissions, bytes_factor, hop_sum, n_phases, n_shuffles = _schedule_stats_basis(
+        tuple(steps), d
+    )
     return {
         "n_transmissions": float(n_transmissions),
-        "bytes_per_node": bytes_per_node,
+        "bytes_per_node": float(m * bytes_factor),
         "hop_sum": float(hop_sum),
         "n_phases": float(n_phases),
         "n_shuffles": float(n_shuffles),
     }
+
+
+def schedule_stats_cache_info():
+    """Hit/miss counters of the memoized schedule aggregates."""
+    return _schedule_stats_basis.cache_info()
 
 
 def exchange_distance(src: int, dst: int) -> int:

@@ -14,7 +14,11 @@ holds one pluggable policy:
 :class:`~repro.plan.policies.ServicePolicy`
     answers from an in-process
     :class:`~repro.service.registry.OptimizerRegistry` (shard-backed
-    stored tables, result memo, coalesced grid calls).
+    stored tables, result memo, coalesced grid calls);
+:class:`~repro.plan.policies.ContentionPolicy`
+    the model policy plus a contention-aware price for the naive
+    rotation baseline, from the fast-path reservation replay
+    (:mod:`repro.sim.fastpath`).
 
 Every layer that performs a collective routes through the planner:
 ``Communicator.Alltoall`` and the simulated exchange programs, all
@@ -29,6 +33,7 @@ from repro.plan.decision import ALGORITHMS, PlanDecision, algorithm_name, format
 from repro.plan.patterns import PATTERNS, PatternDecision, pattern_candidates, plan_pattern
 from repro.plan.planner import CollectivePlanner, PlannerStats
 from repro.plan.policies import (
+    ContentionPolicy,
     FixedPolicy,
     ModelPolicy,
     PlanningPolicy,
@@ -39,6 +44,7 @@ from repro.plan.policies import (
 __all__ = [
     "ALGORITHMS",
     "CollectivePlanner",
+    "ContentionPolicy",
     "FixedPolicy",
     "ModelPolicy",
     "PATTERNS",

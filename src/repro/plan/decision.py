@@ -86,6 +86,12 @@ class PlanDecision:
     ranking:
         Optional full candidate ranking ``((partition, time), ...)``
         when the policy evaluated one (the model policy does).
+    naive_us:
+        The contention-priced time of the naive rotation baseline for
+        this ``(d, m)``, when the policy priced it (the contention
+        policy does, via the fast path's reservation replay).  The
+        naive baseline has no *analytic* model, but it does have a
+        simulator price.
     """
 
     d: int
@@ -96,6 +102,7 @@ class PlanDecision:
     policy: str
     source: str = "policy"
     ranking: tuple[tuple[tuple[int, ...], float], ...] | None = None
+    naive_us: float | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:

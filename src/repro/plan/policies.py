@@ -15,6 +15,12 @@ A *policy* answers one question — "which algorithm should this
   stored tables, result memo, batched grid calls — the "stored for
   repeated future use" answer.
 
+* :class:`ContentionPolicy` extends the model policy with a
+  *contention-aware price for the naive rotation baseline*: the fast
+  path's reservation replay (:func:`repro.sim.fastpath.naive_exchange_time`)
+  prices the baseline the analytic model cannot, and the policy picks
+  naive on the (pathological) machines where it actually wins.
+
 ``ModelPolicy`` and ``ServicePolicy`` agree bitwise on the chosen
 partition and predicted time away from table switch points (asserted
 across presets and dimensions by the property tests).
@@ -22,6 +28,7 @@ across presets and dimensions by the property tests).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.model.optimizer import best_partition
@@ -29,7 +36,14 @@ from repro.model.params import MachineParams
 from repro.plan.decision import PlanDecision, algorithm_name
 from repro.util.validation import check_block_size, check_dimension, check_partition
 
-__all__ = ["FixedPolicy", "ModelPolicy", "PlanningPolicy", "ServicePolicy", "make_policy"]
+__all__ = [
+    "ContentionPolicy",
+    "FixedPolicy",
+    "ModelPolicy",
+    "PlanningPolicy",
+    "ServicePolicy",
+    "make_policy",
+]
 
 
 @runtime_checkable
@@ -119,6 +133,55 @@ class ModelPolicy:
         )
 
 
+class ContentionPolicy:
+    """Model-optimal choice, with the naive baseline priced for real.
+
+    The analytic model cannot price the naive rotation baseline — its
+    cost is contention, which eq. (3) assumes away.  This policy prices
+    it with the fast path's reservation replay (the same greedy
+    link/port serialization the event engine applies, collapsed to a
+    flat pass) and compares against the model's best partition:
+
+    * on the calibrated machines the planned schedule always wins, and
+      the decision carries ``naive_us`` as the quantified margin — the
+      "how much does ignoring the network cost" number;
+    * on a machine whose pairwise-sync handshake is expensive enough,
+      naive genuinely wins, and the policy selects it *with a
+      simulator-backed prediction* (``predicted_us`` is set, unlike
+      the fixed naive policy's unpriced baseline).
+
+    >>> from repro.model.params import ipsc860
+    >>> decision = ContentionPolicy(ipsc860()).decide(7, 40.0)
+    >>> decision.partition
+    (4, 3)
+    >>> decision.naive_us > decision.predicted_us
+    True
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        *,
+        candidates: Iterable[tuple[int, ...]] | None = None,
+    ) -> None:
+        self.params = params
+        self._model = ModelPolicy(params, candidates=candidates)
+        self.name = "contention"
+
+    def decide(self, d: int, m: float) -> PlanDecision:
+        from repro.sim.fastpath import naive_exchange_time
+
+        planned = self._model.decide(d, m)
+        naive_us = naive_exchange_time(planned.d, planned.m, self.params)
+        if planned.predicted_us is not None and naive_us < planned.predicted_us:
+            return PlanDecision(
+                d=planned.d, m=planned.m, algorithm="naive", partition=None,
+                predicted_us=naive_us, policy=self.name, source="fastpath",
+                ranking=planned.ranking, naive_us=naive_us,
+            )
+        return replace(planned, policy=self.name, naive_us=naive_us)
+
+
 class ServicePolicy:
     """Answer from an in-process optimizer query service.
 
@@ -160,11 +223,12 @@ def make_policy(
     partition: Sequence[int] | None = None,
     naive: bool = False,
 ) -> PlanningPolicy:
-    """Build one of the three named policies (CLI/bench convenience).
+    """Build one of the named policies (CLI/bench convenience).
 
-    ``name`` is ``"fixed"``, ``"model"``, or ``"service"``; the fixed
-    policy honours ``partition``/``naive``, the service policy uses
-    ``registry`` (a fresh in-process one when omitted) under ``preset``.
+    ``name`` is ``"fixed"``, ``"model"``, ``"service"``, or
+    ``"contention"``; the fixed policy honours ``partition``/``naive``,
+    the service policy uses ``registry`` (a fresh in-process one when
+    omitted) under ``preset``.
     """
     if name == "fixed":
         return FixedPolicy(partition, naive=naive, params=params)
@@ -172,4 +236,9 @@ def make_policy(
         return ModelPolicy(params)
     if name == "service":
         return ServicePolicy(registry, preset=preset)
-    raise ValueError(f"unknown policy {name!r}; expected 'fixed', 'model', or 'service'")
+    if name == "contention":
+        return ContentionPolicy(params)
+    raise ValueError(
+        f"unknown policy {name!r}; expected 'fixed', 'model', 'service', "
+        f"or 'contention'"
+    )

@@ -8,6 +8,22 @@ calibrated by :class:`repro.model.params.MachineParams`.
 """
 
 from repro.sim.engine import Delay, Engine, Process, Request, SimulationError
+from repro.sim.fastpath import (
+    CompiledSchedule,
+    NaiveContentionSummary,
+    NaiveSend,
+    NaiveTimeline,
+    ScheduleTimeline,
+    batch_exchange_times,
+    compile_schedule,
+    exchange_time,
+    exchange_timeline,
+    exchange_times,
+    naive_contention_summary,
+    naive_exchange_time,
+    naive_step_circuits,
+    naive_timeline,
+)
 from repro.sim.machine import RunResult, SimulatedHypercube
 from repro.sim.network import Grant, Network
 from repro.sim.node import NodeContext
@@ -15,17 +31,31 @@ from repro.sim.trace import BarrierRecord, ShuffleRecord, Trace, TransmissionRec
 
 __all__ = [
     "BarrierRecord",
+    "CompiledSchedule",
     "Delay",
     "Engine",
     "Grant",
+    "NaiveContentionSummary",
+    "NaiveSend",
+    "NaiveTimeline",
     "Network",
     "NodeContext",
     "Process",
     "Request",
     "RunResult",
+    "ScheduleTimeline",
     "ShuffleRecord",
     "SimulatedHypercube",
     "SimulationError",
     "Trace",
     "TransmissionRecord",
+    "batch_exchange_times",
+    "compile_schedule",
+    "exchange_time",
+    "exchange_timeline",
+    "exchange_times",
+    "naive_contention_summary",
+    "naive_exchange_time",
+    "naive_step_circuits",
+    "naive_timeline",
 ]

@@ -1,0 +1,491 @@
+"""Vectorized lockstep fast path for schedule timing.
+
+Bokhari's exchange schedules are *lockstep*: every node executes the
+same step list, each step has the same duration on every node (the
+pairwise schedule exchanges equal payloads over equal distances), and
+the compiled schedules are edge-contention free — so every circuit is
+granted the instant it is requested.  The per-node timeline of a
+simulated run is therefore computable in closed form, one cumulative
+sum over the step durations, without booting coroutine processes (the
+same observation that lets implicit lockstep simulations replace
+event-driven ones wholesale).  This module is that closed form,
+vectorized with numpy over steps × block sizes:
+
+* :func:`exchange_time` / :func:`exchange_times` /
+  :func:`exchange_timeline` — total and per-step start/finish times of
+  a multiphase/standard/single-phase schedule.  These agree with
+  :func:`repro.comm.program.simulate_exchange` to **float equality**
+  (``==``, not approx): the same constants are combined in the same
+  order the event engine combines them, and ``cumsum`` accumulates
+  steps in the engine's dispatch order.
+* :func:`batch_exchange_times` — one array pass per distinct
+  ``(d, partition)`` group over a whole batch of ``(d, m, partition)``
+  configurations (the validation-sweep workhorse).
+* :func:`naive_exchange_time` / :func:`naive_timeline` — the
+  *contended* naive rotation baseline, priced by replaying the event
+  engine's greedy link/port reservation discipline over the send
+  stream directly (a flat heap loop — no generators, no payload
+  movement, no trace records).  Edge conflicts serialize exactly as
+  :class:`repro.sim.network.Network.reserve` serializes them, so the
+  result matches the event engine's simulated time; the agreement
+  tests assert exact equality, and consumers may rely on a documented
+  tolerance of 1e-12 relative.
+* :func:`naive_contention_summary` — why the naive schedule is slow,
+  quantified with the static analyzers
+  (:func:`~repro.hypercube.contention.analyze_contention` /
+  :func:`~repro.hypercube.contention.count_edge_conflicts`): each
+  rotation step is individually link-clean under e-cube, but the union
+  of steps is heavily contended, and without pairwise synchronization
+  nodes drift until circuits from different steps overlap.
+
+The event engine stays authoritative for everything the closed form
+does not model: fault injection, FORCED-drop semantics, byte-verified
+data movement, and arbitrary node programs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.schedule import (
+    ExchangeStep,
+    PhaseStart,
+    ShuffleStep,
+    Step,
+    multiphase_schedule,
+)
+from repro.hypercube.contention import analyze_contention, count_edge_conflicts
+from repro.hypercube.routing import ecube_path_edges
+from repro.model.params import MachineParams
+from repro.util.bitops import popcount
+from repro.util.validation import check_dimension, check_partition
+
+__all__ = [
+    "CompiledSchedule",
+    "NaiveContentionSummary",
+    "NaiveSend",
+    "NaiveTimeline",
+    "ScheduleTimeline",
+    "batch_exchange_times",
+    "compile_schedule",
+    "exchange_time",
+    "exchange_timeline",
+    "exchange_times",
+    "naive_contention_summary",
+    "naive_exchange_time",
+    "naive_step_circuits",
+    "naive_timeline",
+]
+
+#: step-kind codes of a compiled schedule
+KIND_BARRIER, KIND_EXCHANGE, KIND_SHUFFLE = 0, 1, 2
+
+
+# ----------------------------------------------------------------------
+# contention-free schedules: closed-form lockstep timing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """A schedule reduced to per-step timing coefficients.
+
+    For every step the duration on the calibrated machine is an affine
+    function of the block size ``m``:
+
+    * ``PhaseStart``  — ``γ·d``  (the global synchronization);
+    * ``ExchangeStep`` — ``λ_x + τ·(m·2**(d-d_i)) + δ_x·h`` with ``h``
+      the step's hop count;
+    * ``ShuffleStep`` — ``ρ·(m·2**d)``.
+
+    ``bytes_per_m`` holds the per-step byte multiplier (effective
+    block for exchanges, full buffer for shuffles, 0 for barriers) and
+    ``hops`` the exchange hop counts, so :meth:`durations` evaluates a
+    whole block-size batch in one vectorized pass.
+    """
+
+    d: int
+    partition: tuple[int, ...]
+    steps: tuple[Step, ...]
+    kinds: np.ndarray
+    bytes_per_m: np.ndarray
+    hops: np.ndarray
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    def durations(self, ms: Sequence[float], params: MachineParams) -> np.ndarray:
+        """Per-step durations for each block size: shape ``(S, M)``.
+
+        Arithmetic mirrors the event engine term for term and in the
+        same order (``λ_x + τ·nbytes`` first, hop term added last), so
+        integral block sizes reproduce its float results exactly.
+        """
+        ms_arr = np.asarray(ms, dtype=np.float64)
+        if ms_arr.ndim != 1:
+            raise ValueError(f"ms must be one-dimensional, got shape {ms_arr.shape}")
+        if ms_arr.size and float(ms_arr.min()) < 0:
+            raise ValueError("block sizes must be >= 0")
+        out = np.zeros((self.n_steps, ms_arr.size), dtype=np.float64)
+        barrier = self.kinds == KIND_BARRIER
+        out[barrier, :] = params.global_sync_time(self.d)
+        exchange = self.kinds == KIND_EXCHANGE
+        nbytes = self.bytes_per_m[exchange][:, None] * ms_arr[None, :]
+        hop_terms = params.exchange_hop_time * self.hops[exchange].astype(np.float64)
+        out[exchange, :] = (
+            params.exchange_latency + params.byte_time * nbytes + hop_terms[:, None]
+        )
+        shuffle = self.kinds == KIND_SHUFFLE
+        if shuffle.any():
+            full_buffer = self.bytes_per_m[shuffle][:, None] * ms_arr[None, :]
+            out[shuffle, :] = params.permute_time * full_buffer
+        return out
+
+    def totals(self, ms: Sequence[float], params: MachineParams) -> np.ndarray:
+        """Total exchange time per block size (``cumsum`` accumulation,
+        matching the engine's sequential clock advance)."""
+        durations = self.durations(ms, params)
+        if durations.shape[0] == 0:
+            return np.zeros(durations.shape[1], dtype=np.float64)
+        return durations.cumsum(axis=0)[-1]
+
+    def timeline(self, m: float, params: MachineParams) -> "ScheduleTimeline":
+        """Per-step start/finish times of one lockstep run."""
+        durations = self.durations([m], params)[:, 0]
+        finish = durations.cumsum()
+        start = np.concatenate(([0.0], finish[:-1]))
+        return ScheduleTimeline(
+            d=self.d, m=float(m), partition=self.partition,
+            steps=self.steps, start=start, finish=finish,
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleTimeline:
+    """Start/finish instants of every step of one lockstep run.
+
+    Because the schedule is lockstep, these arrays describe *every*
+    node simultaneously; ``finish[-1]`` is the run's makespan.
+    """
+
+    d: int
+    m: float
+    partition: tuple[int, ...]
+    steps: tuple[Step, ...]
+    start: np.ndarray
+    finish: np.ndarray
+
+    @property
+    def total(self) -> float:
+        """The makespan (equals ``simulate_exchange(...).time_us``)."""
+        return float(self.finish[-1]) if len(self.finish) else 0.0
+
+
+@lru_cache(maxsize=512)
+def _compile_schedule(d: int, partition: tuple[int, ...]) -> CompiledSchedule:
+    steps = tuple(multiphase_schedule(d, partition))
+    kinds = np.empty(len(steps), dtype=np.int8)
+    bytes_per_m = np.zeros(len(steps), dtype=np.int64)
+    hops = np.zeros(len(steps), dtype=np.int64)
+    for i, step in enumerate(steps):
+        if isinstance(step, PhaseStart):
+            kinds[i] = KIND_BARRIER
+        elif isinstance(step, ExchangeStep):
+            kinds[i] = KIND_EXCHANGE
+            bytes_per_m[i] = 1 << (d - step.group.width)
+            hops[i] = step.hops
+        elif isinstance(step, ShuffleStep):
+            kinds[i] = KIND_SHUFFLE
+            bytes_per_m[i] = 1 << d
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown step type {type(step).__name__}")
+    kinds.setflags(write=False)
+    bytes_per_m.setflags(write=False)
+    hops.setflags(write=False)
+    return CompiledSchedule(
+        d=d, partition=partition, steps=steps,
+        kinds=kinds, bytes_per_m=bytes_per_m, hops=hops,
+    )
+
+
+def compile_schedule(d: int, partition: Sequence[int] | None = None) -> CompiledSchedule:
+    """Compile (and memoize) the timing coefficients of a schedule.
+
+    ``partition=None`` selects the single-phase ``(d,)`` schedule, like
+    :func:`repro.comm.program.simulate_exchange` does.
+    """
+    check_dimension(d, minimum=1)
+    parts = check_partition(partition if partition is not None else (d,), d)
+    return _compile_schedule(d, parts)
+
+
+def exchange_times(
+    d: int,
+    ms: Sequence[float],
+    partition: Sequence[int] | None,
+    params: MachineParams,
+) -> np.ndarray:
+    """Lockstep exchange times for a batch of block sizes on one schedule."""
+    return compile_schedule(d, partition).totals(ms, params)
+
+
+def exchange_time(
+    d: int,
+    m: float,
+    partition: Sequence[int] | None,
+    params: MachineParams,
+) -> float:
+    """Total time of one contention-free exchange, closed form.
+
+    Equals the event engine's measured virtual time exactly:
+
+    >>> from repro.model.params import ipsc860
+    >>> from repro.comm.program import simulate_exchange
+    >>> fast = exchange_time(4, 24, (2, 2), ipsc860())
+    >>> fast == simulate_exchange(4, 24, (2, 2), ipsc860()).time_us
+    True
+    """
+    return float(exchange_times(d, [m], partition, params)[0])
+
+
+def exchange_timeline(
+    d: int,
+    m: float,
+    partition: Sequence[int] | None,
+    params: MachineParams,
+) -> ScheduleTimeline:
+    """Per-step start/finish timeline of one contention-free exchange."""
+    return compile_schedule(d, partition).timeline(m, params)
+
+
+def batch_exchange_times(
+    configs: Sequence[tuple[int, float, Sequence[int] | None]],
+    params: MachineParams,
+) -> np.ndarray:
+    """Exchange times for a heterogeneous batch of configurations.
+
+    ``configs`` holds ``(d, m, partition)`` triples; ``partition`` of
+    ``None`` selects the *naive rotation baseline* (priced with the
+    contention-aware replay), anything else the lockstep closed form.
+    Configurations sharing a ``(d, partition)`` schedule are evaluated
+    in one vectorized pass; the result is aligned with ``configs``.
+    """
+    out = np.empty(len(configs), dtype=np.float64)
+    groups: dict[tuple[int, tuple[int, ...]], list[int]] = {}
+    for index, (d, m, partition) in enumerate(configs):
+        if partition is None:
+            out[index] = naive_exchange_time(d, m, params)
+            continue
+        check_dimension(d, minimum=1)
+        parts = check_partition(partition, d)
+        groups.setdefault((d, parts), []).append(index)
+    for (d, parts), indices in groups.items():
+        ms = [configs[i][1] for i in indices]
+        out[indices] = compile_schedule(d, parts).totals(ms, params)
+    return out
+
+
+# ----------------------------------------------------------------------
+# the contended naive baseline: reservation replay
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NaiveSend:
+    """One FORCED send of the naive rotation schedule, as granted.
+
+    ``t_issue`` is when the node asked for the circuit, ``t_start``
+    when every link and both endpoint ports were free (the difference
+    is serialization wait — the §2 edge-contention penalty in action),
+    ``t_end`` when the transfer left the wire.
+    """
+
+    src: int
+    dst: int
+    step: int
+    hops: int
+    t_issue: float
+    t_start: float
+    t_end: float
+
+    @property
+    def wait(self) -> float:
+        """Serialization wait before the circuit was granted."""
+        return self.t_start - self.t_issue
+
+
+@dataclass(frozen=True)
+class NaiveTimeline:
+    """The naive rotation baseline, priced send by send."""
+
+    d: int
+    m: float
+    total: float
+    sends: tuple[NaiveSend, ...]
+
+    @property
+    def total_wait(self) -> float:
+        """Aggregate serialization wait over all sends (µs)."""
+        return sum(send.wait for send in self.sends)
+
+    @property
+    def contended_sends(self) -> int:
+        """Sends that had to wait for a link or port to free up."""
+        return sum(1 for send in self.sends if send.wait > 0.0)
+
+
+@lru_cache(maxsize=64)
+def _naive_resources(d: int) -> dict[tuple[int, int], tuple]:
+    """Reservation resource sets per (src, dst): e-cube links plus both
+    endpoint ports (the §7.2 serialization the naive schedule pays)."""
+    n = 1 << d
+    resources: dict[tuple[int, int], tuple] = {}
+    for src in range(n):
+        for step in range(1, n):
+            dst = (src + step) % n
+            links = tuple(ecube_path_edges(src, dst))
+            resources[(src, dst)] = links + (("port", src), ("port", dst))
+    return resources
+
+
+def _naive_replay(
+    d: int, m: float, params: MachineParams, *, collect: bool
+) -> tuple[float, tuple[NaiveSend, ...]]:
+    """Replay the naive rotation schedule's reservations.
+
+    Mirrors the event engine exactly: after the initial barrier every
+    node issues its ``n-1`` FORCED sends sequentially, each send
+    greedily reserving its circuit links and both endpoint ports at
+    issue time (``Network.reserve`` semantics), and ties at equal
+    virtual times resolve in schedule order.  Receives consume no
+    virtual time, so the makespan is the last grant's completion.
+    """
+    check_dimension(d, minimum=1)
+    if m < 0:
+        raise ValueError(f"block size must be >= 0, got {m}")
+    n = 1 << d
+    resources = _naive_resources(d)
+    free_at: dict[object, float] = {}
+    t0 = params.global_sync_time(d)
+    heap: list[tuple[float, int, int, int]] = []
+    seq = 0
+    for rank in range(n):
+        seq += 1
+        heap.append((t0, seq, rank, 1))
+    heapq.heapify(heap)
+    latency, byte_time, hop_time = params.latency, params.byte_time, params.hop_time
+    transfer = latency + byte_time * m
+    finish = 0.0
+    sends: list[NaiveSend] = []
+    while heap:
+        t_issue, _, rank, step = heapq.heappop(heap)
+        dst = (rank + step) % n
+        duration = transfer + hop_time * popcount(rank ^ dst)
+        t_start = t_issue
+        held = resources[(rank, dst)]
+        for resource in held:
+            t_free = free_at.get(resource, 0.0)
+            if t_free > t_start:
+                t_start = t_free
+        t_end = t_start + duration
+        for resource in held:
+            free_at[resource] = t_end
+        # the engine schedules the completion relative to the current
+        # clock; reproduce that exact float so ordering cannot drift
+        fires_at = t_issue + (t_end - t_issue)
+        if fires_at > finish:
+            finish = fires_at
+        if collect:
+            sends.append(
+                NaiveSend(
+                    src=rank, dst=dst, step=step,
+                    hops=popcount(rank ^ dst),
+                    t_issue=t_issue, t_start=t_start, t_end=t_end,
+                )
+            )
+        if step + 1 < n:
+            seq += 1
+            heapq.heappush(heap, (fires_at, seq, rank, step + 1))
+    return finish, tuple(sends)
+
+
+@lru_cache(maxsize=4096)
+def naive_exchange_time(d: int, m: float, params: MachineParams) -> float:
+    """Contention-priced time of the naive rotation baseline.
+
+    Matches :func:`repro.comm.program.simulate_naive_exchange` exactly
+    (asserted by the agreement tests; documented tolerance 1e-12
+    relative), at a fraction of the cost: the replay prices the edge
+    and port serialization without running coroutines or moving bytes.
+    """
+    total, _ = _naive_replay(d, m, params, collect=False)
+    return total
+
+
+def naive_timeline(d: int, m: float, params: MachineParams) -> NaiveTimeline:
+    """The naive baseline with its full per-send grant timeline."""
+    total, sends = _naive_replay(d, m, params, collect=True)
+    return NaiveTimeline(d=d, m=float(m), total=total, sends=sends)
+
+
+# ----------------------------------------------------------------------
+# why naive is slow: static contention profile + measured serialization
+# ----------------------------------------------------------------------
+def naive_step_circuits(d: int, step: int) -> list[tuple[int, int]]:
+    """The circuits rotation step ``step`` holds if nodes stay in step."""
+    check_dimension(d, minimum=1)
+    n = 1 << d
+    if not 1 <= step < n:
+        raise ValueError(f"rotation step {step} out of range 1..{n - 1}")
+    return [(src, (src + step) % n) for src in range(n)]
+
+
+@dataclass(frozen=True)
+class NaiveContentionSummary:
+    """Static and replayed contention diagnostics of the naive schedule.
+
+    ``static_step_conflicts`` counts over-subscribed links when each
+    rotation step runs in isolation — it is 0 for every ``d``: the
+    rotation steps are individually link-clean under e-cube.  The harm
+    comes from *drift*: unsynchronized nodes fall out of step until
+    circuits from different steps coexist; ``overlap_conflict_links``
+    and ``overlap_max_edge_load`` analyze that envelope (the union of
+    all steps' circuits), and ``serialization_wait_us`` /
+    ``contended_sends`` report what the reservation replay actually
+    measured for this ``(d, m)``.
+    """
+
+    d: int
+    m: float
+    total_us: float
+    n_sends: int
+    serialization_wait_us: float
+    contended_sends: int
+    static_step_conflicts: int
+    overlap_conflict_links: int
+    overlap_max_edge_load: int
+
+
+def naive_contention_summary(
+    d: int, m: float, params: MachineParams
+) -> NaiveContentionSummary:
+    """Price the naive baseline and explain where the time goes."""
+    timeline = naive_timeline(d, m, params)
+    n = 1 << d
+    per_step = [naive_step_circuits(d, step) for step in range(1, n)]
+    union_report = analyze_contention(
+        circuit for circuits in per_step for circuit in circuits
+    )
+    return NaiveContentionSummary(
+        d=d,
+        m=float(m),
+        total_us=timeline.total,
+        n_sends=len(timeline.sends),
+        serialization_wait_us=timeline.total_wait,
+        contended_sends=timeline.contended_sends,
+        static_step_conflicts=count_edge_conflicts(per_step),
+        overlap_conflict_links=len(union_report.edge_conflicts),
+        overlap_max_edge_load=union_report.max_edge_load,
+    )

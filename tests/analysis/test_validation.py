@@ -61,3 +61,48 @@ class TestValidatePolicy:
         assert "payload-checked" in text
         assert "max rel. error" in text
         assert "plan records in traces" in text
+        assert "[fast engine]" in text
+
+
+class TestReplayEngines:
+    """The fast path is the default replay engine; the event engine
+    stays available (and agreeing) behind ``engine="event"``."""
+
+    def test_default_engine_is_fast(self, ipsc):
+        report = validate_policy(ModelPolicy(ipsc), params=ipsc, apps=["transpose"])
+        assert report.engine == "fast"
+
+    def test_fast_rows_equal_event_rows(self, ipsc):
+        """Same decisions, float-identical simulated times (the
+        contention-free agreement guarantee end to end)."""
+        fast = validate_policy(ModelPolicy(ipsc), params=ipsc)
+        event = validate_policy(ModelPolicy(ipsc), params=ipsc, engine="event")
+        assert [r.simulated_us for r in fast.rows] == [
+            r.simulated_us for r in event.rows
+        ]
+        assert [(r.app, r.d, r.m, r.partition) for r in fast.rows] == [
+            (r.app, r.d, r.m, r.partition) for r in event.rows
+        ]
+        assert event.engine == "event"
+        assert "[event engine]" in event.render()
+
+    def test_naive_rows_agree_across_engines(self, ipsc):
+        """The contended baseline replays identically: the fast path's
+        reservation replay mirrors the event engine's serialization."""
+        fast = validate_policy(
+            FixedPolicy(naive=True), params=ipsc, apps=["transpose"]
+        )
+        event = validate_policy(
+            FixedPolicy(naive=True), params=ipsc, apps=["transpose"], engine="event"
+        )
+        assert [r.simulated_us for r in fast.rows] == [
+            r.simulated_us for r in event.rows
+        ]
+
+    def test_trace_decisions_counted_in_fast_mode(self, ipsc):
+        report = validate_policy(ModelPolicy(ipsc), params=ipsc, apps=["fft2d"])
+        assert report.n_trace_decisions == len(report.rows)
+
+    def test_unknown_engine_rejected(self, ipsc):
+        with pytest.raises(ValueError, match="unknown engine"):
+            validate_policy(params=ipsc, engine="warp")

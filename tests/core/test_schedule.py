@@ -14,6 +14,7 @@ from repro.core.schedule import (
     optimal_schedule,
     schedule_circuits,
     schedule_stats,
+    schedule_stats_cache_info,
     standard_schedule,
     validate_contention_free,
 )
@@ -142,3 +143,29 @@ class TestStats:
         v_max = volumes[(1,) * d]
         for partition, v in volumes.items():
             assert v_min <= v <= v_max, partition
+
+    def test_stats_memoized_per_schedule(self):
+        """Repeat queries of one schedule — at any block size — hit the
+        per-(d, partition) cache instead of re-walking the steps."""
+        d = 6
+        steps = multiphase_schedule(d, (4, 2))
+        first = schedule_stats(steps, d, 8)
+        hits_before = schedule_stats_cache_info().hits
+        again = schedule_stats(steps, d, 8)
+        rescaled = schedule_stats(steps, d, 16)
+        assert schedule_stats_cache_info().hits == hits_before + 2
+        # same answer, fresh dict (callers may mutate their copy)
+        assert again == first and again is not first
+        # only the m scaling differs between queries of one schedule
+        assert rescaled["bytes_per_node"] == 2 * first["bytes_per_node"]
+        for key in ("n_transmissions", "hop_sum", "n_phases", "n_shuffles"):
+            assert rescaled[key] == first[key]
+
+    def test_stats_cache_distinguishes_schedules(self):
+        """Different (d, partition) schedules never share a cache entry."""
+        a = schedule_stats(multiphase_schedule(4, (2, 2)), 4, 8)
+        b = schedule_stats(multiphase_schedule(4, (4,)), 4, 8)
+        assert a["n_transmissions"] != b["n_transmissions"]
+        misses_before = schedule_stats_cache_info().misses
+        schedule_stats(multiphase_schedule(5, (2, 1, 1, 1)), 5, 8)
+        assert schedule_stats_cache_info().misses == misses_before + 1

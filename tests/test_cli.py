@@ -397,6 +397,63 @@ class TestAppsCommand:
         with pytest.raises(SystemExit, match="unknown app"):
             main(["apps", "--apps", "raytracer"])
 
+    def test_apps_event_engine(self, capsys):
+        assert main(["apps", "--policy", "fixed", "--apps", "transpose",
+                     "--engine", "event"]) == 0
+        out = capsys.readouterr().out
+        assert "[event engine]" in out
+
+
+class TestValidateCommand:
+    def test_validate_defaults_to_fast_engine(self, capsys):
+        assert main(["validate", "--policy", "model",
+                     "--apps", "transpose", "fft2d"]) == 0
+        out = capsys.readouterr().out
+        assert "[fast engine]" in out
+        assert "planner validation under policy 'model'" in out
+        assert "transpose" in out and "fft2d" in out
+
+    def test_validate_engines_agree(self, capsys):
+        assert main(["validate", "--policy", "model", "--apps", "lookup"]) == 0
+        fast_out = capsys.readouterr().out
+        assert main(["validate", "--policy", "model", "--apps", "lookup",
+                     "--engine", "event"]) == 0
+        event_out = capsys.readouterr().out
+        # identical report apart from the engine tag (float-identical
+        # simulated times is the fast path's contract)
+        assert fast_out.replace("[fast engine]", "[event engine]") == event_out
+
+    def test_validate_contention_policy(self, capsys):
+        assert main(["validate", "--policy", "contention",
+                     "--apps", "transpose"]) == 0
+        out = capsys.readouterr().out
+        assert "policy 'contention'" in out
+
+    def test_validate_rejects_bad_engine(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "--engine", "warp"])
+
+
+class TestPlanContentionPolicy:
+    def test_naive_baseline_is_priced(self, capsys):
+        assert main(["plan", "6", "16", "--policy", "contention"]) == 0
+        out = capsys.readouterr().out
+        assert "policy: contention" in out
+        naive_line = next(
+            line for line in out.splitlines() if line.strip().startswith("naive")
+        )
+        assert "no analytic model" not in naive_line
+        assert "us" in naive_line
+
+    def test_naive_price_in_json(self, capsys):
+        import json
+
+        assert main(["plan", "6", "16", "--policy", "contention", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        by_name = {c["algorithm"]: c for c in doc["candidates"]}
+        assert by_name["naive"]["predicted_us"] is not None
+        assert by_name["naive"]["predicted_us"] > doc["predicted_us"]
+
 
 class TestReviewRegressions:
     def test_hull_json_after_load_has_unknown_bound(self, tmp_path, capsys):

@@ -66,6 +66,7 @@ DOCTEST_MODULES = [
     "repro.service.batch",
     "repro.service.server",
     "repro.sim.machine",
+    "repro.sim.fastpath",
     "repro.comm.program",
     "repro.plan.decision",
     "repro.plan.planner",
