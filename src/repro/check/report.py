@@ -1,0 +1,136 @@
+"""Machine-readable results of the static analyzers.
+
+A :class:`Violation` is one provable defect with full provenance: the
+check that found it, the target it was found in (a schedule, a pattern,
+a source file), where (step index or source line), a human message, a
+machine-readable counterexample, and a fix hint.  A
+:class:`CheckReport` aggregates violations next to the list of targets
+that were *certified* clean — a passing check names what it proved,
+not just the absence of complaints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["CheckReport", "Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One provable defect, with provenance.
+
+    Attributes
+    ----------
+    check:
+        Identifier of the invariant or lint rule that failed
+        (e.g. ``"edge-contention"``, ``"async-blocking"``).
+    target:
+        What was being verified: a schedule label like
+        ``"schedule d=5 {2,3}"`` or a source path.
+    message:
+        Human-readable statement of the defect.
+    step_index:
+        Index of the offending schedule step (domain checks; ``None``
+        for code checks).
+    line:
+        1-based source line (code checks; ``None`` for domain checks).
+    counterexample:
+        Machine-readable evidence — e.g. the shared link and the
+        circuits holding it, or the undelivered blocks.
+    fix_hint:
+        How to repair or allowlist the finding.
+    """
+
+    check: str
+    target: str
+    message: str
+    step_index: int | None = None
+    line: int | None = None
+    counterexample: Mapping[str, Any] | None = None
+    fix_hint: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready document (counterexample values stringified only
+        where they are not already JSON-encodable)."""
+        return {
+            "check": self.check,
+            "target": self.target,
+            "message": self.message,
+            "step_index": self.step_index,
+            "line": self.line,
+            "counterexample": _jsonable(self.counterexample),
+            "fix_hint": self.fix_hint,
+        }
+
+    def describe(self) -> str:
+        """One-line human rendering."""
+        where = self.target
+        if self.step_index is not None:
+            where += f" step {self.step_index}"
+        if self.line is not None:
+            where += f":{self.line}"
+        text = f"[{self.check}] {where}: {self.message}"
+        if self.fix_hint:
+            text += f"  (hint: {self.fix_hint})"
+        return text
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of counterexample payloads to JSON types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    return str(value)
+
+
+@dataclass
+class CheckReport:
+    """Aggregated result of one or more static checks.
+
+    ``certified`` lists the targets proven clean; ``violations`` the
+    defects found.  Reports merge with :meth:`extend` so the CLI can
+    run the domain verifier and the lint engine into one document.
+    """
+
+    certified: list[str] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no violation was found."""
+        return not self.violations
+
+    def certify(self, target: str) -> None:
+        """Record that ``target`` passed every applicable check."""
+        self.certified.append(target)
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def extend(self, other: "CheckReport") -> "CheckReport":
+        """Merge ``other`` into this report (returns self for chaining)."""
+        self.certified.extend(other.certified)
+        self.violations.extend(other.violations)
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready document for ``repro check --json``."""
+        return {
+            "ok": self.ok,
+            "certified": list(self.certified),
+            "violations": [violation.as_dict() for violation in self.violations],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary, violations first."""
+        lines = [violation.describe() for violation in self.violations]
+        lines.append(
+            f"{len(self.certified)} target(s) certified, "
+            f"{len(self.violations)} violation(s)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,480 @@
+"""AST-based project lint engine: the repository's coding invariants.
+
+Complements the domain verifier of :mod:`repro.check.schedule` with
+rules over the *source tree* — invariants that keep the simulation
+deterministic, the transports honest, and the layering intact, but
+that no unit test can enforce globally:
+
+============== ====================================================
+rule id        invariant
+============== ====================================================
+async-blocking no blocking call (``time.sleep``, ``subprocess``,
+               ``os.system``, ``socket.socket``, builtin ``open``,
+               ``input``) lexically inside an ``async def``
+engine-import  :mod:`repro.sim.engine` is imported only at the
+               sanctioned sites (the executor layer); everything
+               else must go through :mod:`repro.sim.machine` or the
+               fast path
+float-eq       no bare ``==``/``!=`` against a float literal —
+               model times are floats; compare with tolerances
+unseeded-rand  no unseeded randomness: ``default_rng()`` without a
+               seed, legacy ``numpy.random.*`` module calls, or
+               stdlib ``random`` module calls under ``src/``
+protocol-drift a module-level ``ALL_CAPS`` literal defined in two
+               or more of ``server.py`` / ``async_server.py`` /
+               ``client.py`` in the same directory must agree
+wall-clock     no wall-clock reads (``time.time``,
+               ``perf_counter``, ``monotonic``) under ``src/`` —
+               simulated time is the only clock
+============== ====================================================
+
+Escape hatches, in order of preference: register the site in the
+rule's ``allow_paths`` (for whole sanctioned modules), or append an
+inline ``# repro: allow[rule-id]`` comment on the flagged line (for
+individual sentinel comparisons and the like).  Run via
+``repro check --code`` or :func:`run_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.check.report import CheckReport, Violation
+
+__all__ = ["RULES", "LintRule", "SourceFile", "run_rules"]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([a-z0-9-]+)\]")
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed source file handed to the rules."""
+
+    path: str          # repo-relative, forward slashes
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def allowed(self, rule_id: str, lineno: int | None) -> bool:
+        """True when the 1-based line carries ``# repro: allow[rule_id]``."""
+        if lineno is None or not (1 <= lineno <= len(self.lines)):
+            return False
+        return any(
+            match.group(1) == rule_id
+            for match in _ALLOW_RE.finditer(self.lines[lineno - 1])
+        )
+
+
+#: a per-file checker yields (lineno, message, counterexample)
+FileChecker = Callable[[SourceFile], Iterator[tuple[int, str, dict]]]
+#: a project checker sees every file at once (cross-file invariants)
+ProjectChecker = Callable[
+    [Sequence[SourceFile]], Iterator[tuple[str, int, str, dict]]
+]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One coding invariant: checker + allowlist + fix hint.
+
+    ``allow_paths`` are repo-relative path suffixes at which the rule
+    is suspended wholesale (sanctioned modules); individual lines opt
+    out with ``# repro: allow[rule-id]``.
+    """
+
+    rule_id: str
+    description: str
+    fix_hint: str
+    check_file: FileChecker | None = None
+    check_project: ProjectChecker | None = None
+    allow_paths: tuple[str, ...] = field(default=())
+
+    def path_allowed(self, path: str) -> bool:
+        return any(path.endswith(suffix) for suffix in self.allow_paths)
+
+
+# ----------------------------------------------------------------------
+# rule: async-blocking
+# ----------------------------------------------------------------------
+_BLOCKING_ATTR_CALLS = {
+    ("time", "sleep"),
+    ("os", "system"),
+    ("socket", "socket"),
+    ("socket", "create_connection"),
+}
+_BLOCKING_MODULES = {"subprocess"}
+_BLOCKING_BUILTINS = {"open", "input"}
+
+
+def _dotted(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` -> ("a", "b", "c"); None for non-name bases."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _check_async_blocking(source: SourceFile) -> Iterator[tuple[int, str, dict]]:
+    def walk(node: ast.AST, in_async: bool) -> Iterator[tuple[int, str, dict]]:
+        for child in ast.iter_child_nodes(node):
+            child_async = in_async
+            if isinstance(child, ast.AsyncFunctionDef):
+                child_async = True
+            elif isinstance(child, (ast.FunctionDef, ast.Lambda)):
+                # a nested sync def is a fresh (possibly offloaded) context
+                child_async = False
+            if in_async and isinstance(child, ast.Call):
+                name = _dotted(child.func)
+                blocking = name is not None and (
+                    name[-2:] in _BLOCKING_ATTR_CALLS
+                    or name[0] in _BLOCKING_MODULES
+                    or (len(name) == 1 and name[0] in _BLOCKING_BUILTINS)
+                )
+                if blocking:
+                    yield (
+                        child.lineno,
+                        f"blocking call {'.'.join(name)}() inside async def",
+                        {"call": ".".join(name)},
+                    )
+            yield from walk(child, child_async)
+
+    yield from walk(source.tree, in_async=False)
+
+
+# ----------------------------------------------------------------------
+# rule: engine-import
+# ----------------------------------------------------------------------
+def _check_engine_import(source: SourceFile) -> Iterator[tuple[int, str, dict]]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.sim.engine" or alias.name.startswith(
+                    "repro.sim.engine."
+                ):
+                    yield (node.lineno, f"imports {alias.name}", {"module": alias.name})
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "repro.sim.engine" or module.startswith("repro.sim.engine."):
+                yield (node.lineno, f"imports from {module}", {"module": module})
+            elif module == "repro.sim" and any(
+                alias.name == "engine" for alias in node.names
+            ):
+                yield (node.lineno, "imports engine from repro.sim", {"module": module})
+
+
+# ----------------------------------------------------------------------
+# rule: float-eq
+# ----------------------------------------------------------------------
+def _check_float_eq(source: SourceFile) -> Iterator[tuple[int, str, dict]]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for operand in (left, right):
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    yield (
+                        node.lineno,
+                        f"bare float {'==' if isinstance(op, ast.Eq) else '!='} "
+                        f"against literal {operand.value!r}",
+                        {"literal": operand.value},
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# rule: unseeded-rand
+# ----------------------------------------------------------------------
+_LEGACY_NP_RANDOM = {
+    "rand", "randn", "randint", "random", "choice", "shuffle",
+    "permutation", "normal", "uniform", "seed", "random_sample",
+}
+_STDLIB_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "betavariate", "expovariate",
+}
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _imports_stdlib_random(tree: ast.Module) -> bool:
+    return any(
+        isinstance(node, ast.Import)
+        and any(alias.name == "random" for alias in node.names)
+        for node in ast.walk(tree)
+    )
+
+
+def _check_unseeded_rand(source: SourceFile) -> Iterator[tuple[int, str, dict]]:
+    np_names = _numpy_aliases(source.tree)
+    stdlib_random = _imports_stdlib_random(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name is None:
+            continue
+        if name[-1] == "default_rng" and not node.args and not node.keywords:
+            yield (
+                node.lineno,
+                "default_rng() without a seed is nondeterministic",
+                {"call": ".".join(name)},
+            )
+        elif (
+            len(name) == 3
+            and name[0] in np_names
+            and name[1] == "random"
+            and name[2] in _LEGACY_NP_RANDOM
+        ):
+            yield (
+                node.lineno,
+                f"legacy numpy global-state RNG {'.'.join(name)}()",
+                {"call": ".".join(name)},
+            )
+        elif (
+            stdlib_random
+            and len(name) == 2
+            and name[0] == "random"
+            and name[1] in _STDLIB_RANDOM_FNS
+        ):
+            yield (
+                node.lineno,
+                f"stdlib global-state RNG {'.'.join(name)}()",
+                {"call": ".".join(name)},
+            )
+
+
+# ----------------------------------------------------------------------
+# rule: wall-clock
+# ----------------------------------------------------------------------
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+}
+
+
+def _check_wall_clock(source: SourceFile) -> Iterator[tuple[int, str, dict]]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name is not None and name[-2:] in _WALL_CLOCK:
+                yield (
+                    node.lineno,
+                    f"wall-clock read {'.'.join(name)}()",
+                    {"call": ".".join(name)},
+                )
+
+
+# ----------------------------------------------------------------------
+# rule: protocol-drift (project-wide)
+# ----------------------------------------------------------------------
+_PROTOCOL_FILES = {"server.py", "async_server.py", "client.py"}
+
+
+def _module_constants(tree: ast.Module) -> dict[str, tuple[int, object]]:
+    constants: dict[str, tuple[int, object]] = {}
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id.isupper()
+                and value is not None
+            ):
+                try:
+                    constants[target.id] = (node.lineno, ast.literal_eval(value))
+                except (ValueError, SyntaxError):
+                    continue
+    return constants
+
+
+def _check_protocol_drift(
+    sources: Sequence[SourceFile],
+) -> Iterator[tuple[str, int, str, dict]]:
+    by_dir: dict[str, list[SourceFile]] = {}
+    for source in sources:
+        path = Path(source.path)
+        if path.name in _PROTOCOL_FILES:
+            by_dir.setdefault(str(path.parent), []).append(source)
+    for _, peers in sorted(by_dir.items()):
+        if len(peers) < 2:
+            continue
+        definitions: dict[str, list[tuple[SourceFile, int, object]]] = {}
+        for source in peers:
+            for name, (lineno, value) in _module_constants(source.tree).items():
+                definitions.setdefault(name, []).append((source, lineno, value))
+        for name, sites in sorted(definitions.items()):
+            values = {repr(value) for _, _, value in sites}
+            if len(sites) >= 2 and len(values) > 1:
+                for source, lineno, value in sites:
+                    yield (
+                        source.path,
+                        lineno,
+                        f"protocol constant {name} = {value!r} disagrees with "
+                        f"its peer definition(s): {sorted(values)}",
+                        {"name": name, "values": sorted(values)},
+                    )
+
+
+# ----------------------------------------------------------------------
+# registry + engine
+# ----------------------------------------------------------------------
+RULES: tuple[LintRule, ...] = (
+    LintRule(
+        rule_id="async-blocking",
+        description="no blocking calls lexically inside async def",
+        fix_hint="await an asyncio equivalent or offload via run_in_executor",
+        check_file=_check_async_blocking,
+    ),
+    LintRule(
+        rule_id="engine-import",
+        description="repro.sim.engine is imported only at sanctioned executor sites",
+        fix_hint="depend on repro.sim.machine / repro.sim.fastpath instead, or "
+                 "register the site in the rule's allow_paths",
+        check_file=_check_engine_import,
+        allow_paths=(
+            "repro/sim/__init__.py",
+            "repro/sim/machine.py",
+            "repro/sim/node.py",
+            "repro/sim/network.py",
+        ),
+    ),
+    LintRule(
+        rule_id="float-eq",
+        description="no bare ==/!= against float literals",
+        fix_hint="compare with math.isclose/tolerance, or mark a genuine "
+                 "sentinel with '# repro: allow[float-eq]'",
+        check_file=_check_float_eq,
+    ),
+    LintRule(
+        rule_id="unseeded-rand",
+        description="all randomness under src/ is explicitly seeded",
+        fix_hint="pass a seed to default_rng(); never use global-state RNGs",
+        check_file=_check_unseeded_rand,
+    ),
+    LintRule(
+        rule_id="wall-clock",
+        description="no wall-clock reads under src/ (simulated time only)",
+        fix_hint="thread the engine's simulated clock through instead; "
+                 "wall-clock timing belongs in benches/",
+        check_file=_check_wall_clock,
+    ),
+    LintRule(
+        rule_id="protocol-drift",
+        description="protocol constants agree across server/async_server/client",
+        fix_hint="define the constant once (server.py) and import it elsewhere",
+        check_project=_check_protocol_drift,
+    ),
+)
+
+
+def _load(path: Path, root: Path) -> SourceFile | None:
+    try:
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+    try:
+        relative = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        relative = path
+    return SourceFile(
+        path=str(relative).replace("\\", "/"),
+        tree=tree,
+        lines=tuple(text.splitlines()),
+    )
+
+
+def _iter_paths(paths: Iterable[str | Path] | None, root: str | Path) -> list[Path]:
+    if paths is not None:
+        return [Path(p) for p in paths]
+    return sorted(Path(root).rglob("*.py"))
+
+
+def run_rules(
+    paths: Iterable[str | Path] | None = None,
+    *,
+    root: str | Path = "src",
+    rules: Sequence[LintRule] = RULES,
+) -> CheckReport:
+    """Run the lint rules over ``paths`` (default: every ``.py`` under
+    ``root``) and return a :class:`CheckReport`.
+
+    Per-rule path allowlists and inline ``# repro: allow[rule-id]``
+    comments suppress individual findings; a rule with no surviving
+    finding certifies as ``code:<rule-id>``.
+    """
+    root_path = Path(root)
+    sources = [
+        source
+        for path in _iter_paths(paths, root_path)
+        if (source := _load(path, root_path)) is not None
+    ]
+    report = CheckReport()
+    for rule in rules:
+        found = 0
+        if rule.check_file is not None:
+            for source in sources:
+                if rule.path_allowed(source.path):
+                    continue
+                for lineno, message, counterexample in rule.check_file(source):
+                    if source.allowed(rule.rule_id, lineno):
+                        continue
+                    found += 1
+                    report.add(Violation(
+                        check=rule.rule_id,
+                        target=source.path,
+                        message=message,
+                        line=lineno,
+                        counterexample=counterexample,
+                        fix_hint=rule.fix_hint,
+                    ))
+        if rule.check_project is not None:
+            sources_by_path: Mapping[str, SourceFile] = {
+                source.path: source for source in sources
+            }
+            for path, lineno, message, counterexample in rule.check_project(sources):
+                source = sources_by_path.get(path)
+                if source is not None and source.allowed(rule.rule_id, lineno):
+                    continue
+                if rule.path_allowed(path):
+                    continue
+                found += 1
+                report.add(Violation(
+                    check=rule.rule_id,
+                    target=path,
+                    message=message,
+                    line=lineno,
+                    counterexample=counterexample,
+                    fix_hint=rule.fix_hint,
+                ))
+        if not found:
+            report.certify(f"code:{rule.rule_id} ({len(sources)} files)")
+    return report

@@ -48,6 +48,15 @@ Commands
     vectorized lockstep fast path of :mod:`repro.sim.fastpath`,
     ``--engine event`` spot-checks on the coroutine discrete-event
     engine.  ``apps`` accepts the same ``--engine`` switch.
+``check``
+    Static verification, no simulator: ``--schedules`` certifies every
+    ``(d, partition)`` schedule, §9 pattern program, and
+    planner-emitted collective (edge/port-disjoint circuits, legal
+    e-cube routes, block conservation, fast-path coefficient
+    fidelity); ``--code`` runs the AST lint rules of
+    :mod:`repro.check.rules` over the source tree.  With neither flag,
+    both run.  Exit status 1 on any violation; ``--json`` emits the
+    machine-readable report.
 ``demo``
     A one-minute tour: three algorithms, optimizer, simulation.
 
@@ -249,6 +258,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "parts", type=int, nargs="*",
         help="partition parts (default: the optimizer's choice)",
+    )
+
+    p_check = sub.add_parser(
+        "check",
+        help="static verification: certify schedules and lint the source tree",
+    )
+    p_check.add_argument(
+        "--schedules", action="store_true",
+        help="statically certify every (d, partition) schedule, pattern "
+        "program, and planner-emitted collective",
+    )
+    p_check.add_argument(
+        "--code", action="store_true",
+        help="run the AST lint rules over the source tree",
+    )
+    p_check.add_argument(
+        "--dims", type=int, nargs="+", metavar="D", default=None,
+        help="cube dimensions to certify (default: 2..8)",
+    )
+    p_check.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="source root for --code (default: the installed repro "
+        "package's src/ tree)",
+    )
+    p_check.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable CheckReport document",
     )
 
     sub.add_parser("demo", help="one-minute guided tour")
@@ -686,6 +722,34 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.check import CheckReport, check_schedules, run_rules
+    from repro.check.schedule import CHECK_DIMS
+
+    run_schedules = args.schedules or not (args.schedules or args.code)
+    run_code = args.code or not (args.schedules or args.code)
+    report = CheckReport()
+    if run_schedules:
+        dims = tuple(args.dims) if args.dims else CHECK_DIMS
+        report.extend(check_schedules(dims))
+    if run_code:
+        if args.root is not None:
+            root = Path(args.root)
+        else:
+            import repro
+
+            root = Path(repro.__file__).resolve().parent.parent
+        report.extend(run_rules(root=root))
+    if args.as_json:
+        print(_json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -700,6 +764,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "plan": cmd_plan,
         "apps": cmd_apps,
         "validate": cmd_apps,
+        "check": cmd_check,
         "demo": cmd_demo,
     }[args.command]
     return handler(args)

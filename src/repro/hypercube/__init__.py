@@ -8,6 +8,8 @@ analysis of sets of simultaneously-held circuits.
 
 from repro.hypercube.contention import (
     ContentionReport,
+    ScheduleConflicts,
+    StepConflicts,
     analyze_contention,
     count_edge_conflicts,
     is_edge_contention_free,
@@ -26,6 +28,8 @@ __all__ = [
     "ContentionReport",
     "Hypercube",
     "Link",
+    "ScheduleConflicts",
+    "StepConflicts",
     "Subcube",
     "analyze_contention",
     "count_edge_conflicts",

@@ -22,6 +22,8 @@ from repro.hypercube.topology import Link
 
 __all__ = [
     "ContentionReport",
+    "ScheduleConflicts",
+    "StepConflicts",
     "analyze_contention",
     "count_edge_conflicts",
     "is_edge_contention_free",
@@ -109,11 +111,66 @@ def is_edge_contention_free(circuits: Iterable[tuple[int, int]]) -> bool:
     return analyze_contention(circuits).edge_contention_free
 
 
-def count_edge_conflicts(steps: Sequence[Iterable[tuple[int, int]]]) -> int:
-    """Total number of over-subscribed links across a multi-step schedule.
+@dataclass(frozen=True)
+class StepConflicts:
+    """Edge conflicts of one schedule step, with provenance.
+
+    ``edge_conflicts`` maps each over-subscribed directed link to its
+    load (only links held by two or more circuits appear).
+    """
+
+    step_index: int
+    edge_conflicts: dict[Link, int]
+
+    @property
+    def n_conflict_links(self) -> int:
+        return len(self.edge_conflicts)
+
+
+@dataclass(frozen=True)
+class ScheduleConflicts:
+    """Per-step edge-conflict detail of a multi-step schedule.
+
+    ``steps`` holds one :class:`StepConflicts` per *conflicted* step
+    (clean steps are omitted); ``n_steps`` counts every step analysed.
+    ``total`` — the number of over-subscribed links summed over steps —
+    is what :func:`count_edge_conflicts` used to return as a bare int.
+    """
+
+    n_steps: int
+    steps: tuple[StepConflicts, ...]
+
+    @property
+    def total(self) -> int:
+        """Over-subscribed links summed across all steps."""
+        return sum(step.n_conflict_links for step in self.steps)
+
+    @property
+    def clean(self) -> bool:
+        """True iff no step has any shared link."""
+        return not self.steps
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.n_steps} steps: {len(self.steps)} contended "
+            f"({self.total} over-subscribed links)"
+        )
+
+
+def count_edge_conflicts(steps: Sequence[Iterable[tuple[int, int]]]) -> ScheduleConflicts:
+    """Per-step edge-conflict detail across a multi-step schedule.
 
     Each element of ``steps`` is the set of circuits held during one
     step; steps are assumed separated by synchronization, so only
-    intra-step sharing counts.
+    intra-step sharing counts.  Returns a :class:`ScheduleConflicts`
+    whose ``total`` is the old bare-sum value and whose ``steps`` name
+    the offending step indices and links — the provenance the static
+    verifier (:mod:`repro.check.schedule`) reports counterexamples from.
     """
-    return sum(len(analyze_contention(step).edge_conflicts) for step in steps)
+    conflicted = tuple(
+        StepConflicts(step_index=index, edge_conflicts=report.edge_conflicts)
+        for index, step in enumerate(steps)
+        if (report := analyze_contention(step)).edge_conflicts
+    )
+    return ScheduleConflicts(n_steps=len(steps), steps=conflicted)

@@ -91,16 +91,16 @@ def _bisect_scalar(
 
     lo, hi = 0.0, float(m_max)
     flo, fhi = diff(lo), diff(hi)
-    if flo == 0.0 and fhi == 0.0:
+    if flo == 0.0 and fhi == 0.0:  # repro: allow[float-eq] — exact bisection sentinel
         return None  # identical cost curves: no crossover to report
-    if flo == 0.0:
+    if flo == 0.0:  # repro: allow[float-eq] — exact bisection sentinel
         return lo
     if flo * fhi > 0:
         return None
     while hi - lo > tol:
         mid = 0.5 * (lo + hi)
         fmid = diff(mid)
-        if fmid == 0.0:
+        if fmid == 0.0:  # repro: allow[float-eq] — exact bisection sentinel
             return mid
         if flo * fmid < 0:
             hi = mid
@@ -150,9 +150,9 @@ def _bisect_grid(
     active: list[int] = []
     for i in range(n):
         f0, f1 = ends_lo[i], ends_hi[i]
-        if f0 == 0.0 and f1 == 0.0:
+        if f0 == 0.0 and f1 == 0.0:  # repro: allow[float-eq] — exact bisection sentinel
             results[i] = None  # identical cost curves
-        elif f0 == 0.0:
+        elif f0 == 0.0:  # repro: allow[float-eq] — exact bisection sentinel
             results[i] = lo[i]
         elif f0 * f1 > 0:
             results[i] = None
@@ -172,7 +172,7 @@ def _bisect_grid(
         still: list[int] = []
         for i in active:
             fmid = fmids[i]
-            if fmid == 0.0:
+            if fmid == 0.0:  # repro: allow[float-eq] — exact bisection sentinel
                 results[i] = mids[i]
                 continue
             if flo[i] * fmid < 0:

@@ -483,13 +483,13 @@ class AsyncOptimizerServer:
         return query
 
     @staticmethod
-    def _internal_error(exc: BaseException, request_id) -> dict:
+    def _internal_error(exc: BaseException, request_id: object | None) -> dict:
         response: dict = {"ok": False, "error": f"internal server error: {exc}"}
         if request_id is not None:
             response["id"] = request_id
         return response
 
-    def _handle_shutdown(self, request_id) -> dict:
+    def _handle_shutdown(self, request_id: object | None) -> dict:
         """Acknowledge, then drain in the background.  The ack is queued
         before the drain cancels the reader, so it is always written."""
         asyncio.get_running_loop().create_task(self.aclose())

@@ -71,7 +71,7 @@ class QueryResult:
     tag: Any = None
 
 
-def check_query_values(d, m) -> None:
+def check_query_values(d: int, m: float) -> None:
     """The admission checks every transport shares: one place to add a
     rule so the stdio loop and the socket server cannot drift apart."""
     check_dimension(d, minimum=1)
@@ -80,7 +80,7 @@ def check_query_values(d, m) -> None:
         raise ValueError(f"block size must be finite, got {m}")
 
 
-def as_query(item) -> Query:
+def as_query(item: "Query | tuple[str | None, int, float]") -> Query:
     """Normalize and validate one lookup (a :class:`Query` or a bare
     ``(preset, d, m)`` tuple) — the shared admission check for every
     resolution path, including the socket transports."""

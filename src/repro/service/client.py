@@ -99,7 +99,7 @@ def parse_address(spec: str | Address) -> Address:
     return Address("tcp", host=host or "127.0.0.1", port=port)
 
 
-def _query_request(item, default_preset: str | None) -> dict:
+def _query_request(item: object, default_preset: str | None) -> dict:
     """One protocol request document from a client-side query spec."""
     if isinstance(item, dict):
         doc = dict(item)

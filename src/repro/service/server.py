@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 from typing import IO, Any
 
-from repro.service.batch import Query, resolve_queries
+from repro.service.batch import Query, QueryResult, resolve_queries
 from repro.service.registry import OptimizerRegistry, RegistryStats
 
 __all__ = [
@@ -75,7 +75,7 @@ def query_from_obj(obj: dict, default_preset: str | None) -> Query:
     return Query(preset=preset, d=d, m=float(m), tag=obj.get("id"))
 
 
-def result_to_dict(result) -> dict:
+def result_to_dict(result: QueryResult) -> dict:
     """The JSON-ready response document for one :class:`QueryResult`."""
     doc = {
         "ok": True,

@@ -59,7 +59,11 @@ from repro.core.schedule import (
     Step,
     multiphase_schedule,
 )
-from repro.hypercube.contention import analyze_contention, count_edge_conflicts
+from repro.hypercube.contention import (
+    ScheduleConflicts,
+    analyze_contention,
+    count_edge_conflicts,
+)
 from repro.hypercube.routing import ecube_path_edges
 from repro.model.params import MachineParams
 from repro.util.bitops import popcount
@@ -448,11 +452,13 @@ class NaiveContentionSummary:
 
     ``static_step_conflicts`` counts over-subscribed links when each
     rotation step runs in isolation — it is 0 for every ``d``: the
-    rotation steps are individually link-clean under e-cube.  The harm
-    comes from *drift*: unsynchronized nodes fall out of step until
-    circuits from different steps coexist; ``overlap_conflict_links``
-    and ``overlap_max_edge_load`` analyze that envelope (the union of
-    all steps' circuits), and ``serialization_wait_us`` /
+    rotation steps are individually link-clean under e-cube
+    (``static_step_detail`` carries the per-step provenance backing
+    that count: which steps, which links).  The harm comes from
+    *drift*: unsynchronized nodes fall out of step until circuits from
+    different steps coexist; ``overlap_conflict_links`` and
+    ``overlap_max_edge_load`` analyze that envelope (the union of all
+    steps' circuits), and ``serialization_wait_us`` /
     ``contended_sends`` report what the reservation replay actually
     measured for this ``(d, m)``.
     """
@@ -466,6 +472,7 @@ class NaiveContentionSummary:
     static_step_conflicts: int
     overlap_conflict_links: int
     overlap_max_edge_load: int
+    static_step_detail: ScheduleConflicts
 
 
 def naive_contention_summary(
@@ -478,6 +485,7 @@ def naive_contention_summary(
     union_report = analyze_contention(
         circuit for circuits in per_step for circuit in circuits
     )
+    step_detail = count_edge_conflicts(per_step)
     return NaiveContentionSummary(
         d=d,
         m=float(m),
@@ -485,7 +493,8 @@ def naive_contention_summary(
         n_sends=len(timeline.sends),
         serialization_wait_us=timeline.total_wait,
         contended_sends=timeline.contended_sends,
-        static_step_conflicts=count_edge_conflicts(per_step),
+        static_step_conflicts=step_detail.total,
         overlap_conflict_links=len(union_report.edge_conflicts),
         overlap_max_edge_load=union_report.max_edge_load,
+        static_step_detail=step_detail,
     )

@@ -1,0 +1,73 @@
+"""Tests for the CheckReport/Violation result types."""
+
+from __future__ import annotations
+
+import json
+
+from repro.check import CheckReport, Violation
+from repro.hypercube.topology import Link
+
+
+def make_violation(**overrides):
+    base = dict(
+        check="edge-contention",
+        target="schedule d=4 {2,2}",
+        message="link is oversubscribed",
+        step_index=3,
+        counterexample={"link": Link(0, 1), "circuits": [(0, 3), (1, 2)]},
+        fix_hint="disjoint circuits",
+    )
+    base.update(overrides)
+    return Violation(**base)
+
+
+class TestViolation:
+    def test_describe_includes_provenance(self):
+        text = make_violation().describe()
+        assert "[edge-contention]" in text
+        assert "step 3" in text
+        assert "hint:" in text
+
+    def test_describe_line_provenance(self):
+        text = make_violation(step_index=None, line=42).describe()
+        assert ":42" in text
+
+    def test_as_dict_is_json_serializable(self):
+        doc = make_violation().as_dict()
+        encoded = json.loads(json.dumps(doc))
+        assert encoded["check"] == "edge-contention"
+        # non-JSON values (the Link) were stringified
+        assert isinstance(encoded["counterexample"]["link"], str)
+
+
+class TestCheckReport:
+    def test_empty_report_is_ok(self):
+        report = CheckReport()
+        assert report.ok
+        assert "0 violation(s)" in report.render()
+
+    def test_add_flips_ok(self):
+        report = CheckReport()
+        report.certify("schedule d=2 {2}")
+        report.add(make_violation())
+        assert not report.ok
+        assert "edge-contention" in report.render()
+
+    def test_extend_merges(self):
+        left, right = CheckReport(), CheckReport()
+        left.certify("a")
+        right.certify("b")
+        right.add(make_violation())
+        merged = left.extend(right)
+        assert merged is left
+        assert left.certified == ["a", "b"]
+        assert not left.ok
+
+    def test_as_dict_round_trip(self):
+        report = CheckReport()
+        report.certify("x")
+        report.add(make_violation())
+        doc = json.loads(json.dumps(report.as_dict()))
+        assert doc["ok"] is False
+        assert doc["certified"] == ["x"]
+        assert len(doc["violations"]) == 1

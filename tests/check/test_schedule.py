@@ -1,0 +1,225 @@
+"""Tests for the static schedule verifier (repro.check.schedule).
+
+The verifier is a prover: a clean schedule must certify with zero
+violations, and every corruption class must be rejected with the
+*right* violation kind and a usable counterexample — a verifier that
+rejects everything is as useless as one that accepts everything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.check import (
+    verify_block_conservation,
+    verify_circuit_steps,
+    verify_fastpath_coefficients,
+    verify_pattern,
+    verify_plan_decision,
+    verify_schedule,
+)
+from repro.check.schedule import check_schedules, pattern_variants
+from repro.core.partitions import partitions
+from repro.core.schedule import ExchangeStep, multiphase_schedule
+from repro.plan.decision import PlanDecision
+from repro.sim.fastpath import compile_schedule
+from repro.util.bitops import bit_reverse
+
+
+def exchange_positions(steps):
+    return [i for i, s in enumerate(steps) if isinstance(s, ExchangeStep)]
+
+
+class TestCleanSchedulesCertify:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_every_partition_certifies(self, d):
+        for parts in partitions(d):
+            assert verify_schedule(d, parts) == [], (d, parts)
+
+    def test_default_partition_is_single_phase(self):
+        assert verify_schedule(4) == []
+
+    def test_d6_spot_checks(self):
+        for parts in [(6,), (3, 3), (1,) * 6, (2, 4)]:
+            assert verify_schedule(6, parts) == []
+
+
+class TestCircuitChecks:
+    def test_xor_step_is_clean(self):
+        d = 4
+        circuits = [(x, x ^ 5) for x in range(1 << d)]
+        assert verify_circuit_steps([circuits], d, target="t") == []
+
+    def test_bit_reversal_rejected_with_edge_counterexample(self):
+        d = 4
+        circuits = [(x, bit_reverse(x, d)) for x in range(1 << d)]
+        violations = verify_circuit_steps([circuits], d, target="t")
+        kinds = {v.check for v in violations}
+        assert "edge-contention" in kinds
+        edge = next(v for v in violations if v.check == "edge-contention")
+        # the counterexample names the sharing circuits
+        assert len(edge.counterexample["circuits"]) >= 2
+        assert edge.counterexample["load"] >= 2
+
+    def test_duplicated_circuit_is_port_contention(self):
+        d = 4
+        circuits = [(x, x ^ 3) for x in range(1 << d)] + [(0, 3)]
+        violations = verify_circuit_steps([circuits], d, target="t")
+        kinds = {v.check for v in violations}
+        assert "port-contention" in kinds and "edge-contention" in kinds
+        port = next(v for v in violations if v.check == "port-contention")
+        assert port.counterexample["node"] == 0
+
+    def test_out_of_cube_circuit_rejected(self):
+        violations = verify_circuit_steps([[(0, 99)]], 4, target="t")
+        assert [v.check for v in violations] == ["ecube-route"]
+
+    def test_step_indices_provenance(self):
+        d = 3
+        bad = [(x, bit_reverse(x, d)) for x in range(1 << d)]
+        violations = verify_circuit_steps(
+            [bad], d, target="t", step_indices=[17]
+        )
+        assert all(v.step_index == 17 for v in violations)
+
+    def test_self_circuits_ignored(self):
+        assert verify_circuit_steps([[(2, 2), (5, 5)]], 3, target="t") == []
+
+
+class TestBlockConservation:
+    def test_clean_schedule_conserves(self):
+        steps = multiphase_schedule(5, (2, 3))
+        assert verify_block_conservation(steps, 5, target="t") == []
+
+    def test_dropped_step_is_undelivered(self):
+        d = 4
+        steps = multiphase_schedule(d, (2, 2))
+        drop = exchange_positions(steps)[2]
+        corrupted = steps[:drop] + steps[drop + 1:]
+        violations = verify_block_conservation(corrupted, d, target="t")
+        kinds = {v.check for v in violations}
+        assert "block-undelivered" in kinds
+        missing = next(v for v in violations if v.check == "block-undelivered")
+        # counterexample pins a concrete lost block
+        assert {"origin", "dest"} <= set(missing.counterexample)
+
+    def test_duplicated_step_is_vacuous(self):
+        d = 4
+        steps = multiphase_schedule(d, (2, 2))
+        dup = exchange_positions(steps)[1]
+        corrupted = steps[: dup + 1] + [steps[dup]] + steps[dup + 1:]
+        violations = verify_block_conservation(corrupted, d, target="t")
+        assert [v.check for v in violations] == ["vacuous-step"]
+        assert violations[0].step_index == dup + 1
+
+    def test_repeated_offset_is_rejected(self):
+        d = 4
+        steps = [
+            dataclasses.replace(s, offset=1)
+            if isinstance(s, ExchangeStep) and s.offset == 2
+            else s
+            for s in multiphase_schedule(d, (2, 2))
+        ]
+        violations = verify_block_conservation(steps, d, target="t")
+        kinds = {v.check for v in violations}
+        assert "vacuous-step" in kinds  # the second offset-1 step moves nothing
+        assert "block-undelivered" in kinds  # offset-2 blocks never travel
+
+    def test_exchange_before_phase_start_rejected(self):
+        steps = multiphase_schedule(3, (3,))
+        violations = verify_block_conservation(steps[1:], 3, target="t")
+        assert any(v.check == "phase-structure" for v in violations)
+
+    def test_oversized_group_rejected(self):
+        steps = multiphase_schedule(4, (4,))
+        violations = verify_block_conservation(steps, 3, target="t")
+        assert any(v.check == "step-domain" for v in violations)
+
+
+class TestFastpathCoefficients:
+    @pytest.mark.parametrize("parts", [(4,), (2, 2), (1, 1, 1, 1), (1, 3)])
+    def test_compiled_schedules_certify(self, parts):
+        assert verify_fastpath_coefficients(compile_schedule(4, parts)) == []
+
+    def test_forged_hops_rejected(self):
+        compiled = compile_schedule(4, (2, 2))
+        forged = dataclasses.replace(compiled, hops=compiled.hops.copy())
+        forged.hops[3] += 1
+        violations = verify_fastpath_coefficients(forged)
+        assert all(v.check == "coeff-mismatch" for v in violations)
+        assert any(v.step_index == 3 for v in violations)
+
+    def test_forged_bytes_rejected(self):
+        compiled = compile_schedule(3, (3,))
+        forged = dataclasses.replace(
+            compiled, bytes_per_m=compiled.bytes_per_m * 2
+        )
+        violations = verify_fastpath_coefficients(forged)
+        assert any(v.check == "coeff-mismatch" for v in violations)
+
+    def test_foreign_step_stream_rejected(self):
+        compiled = compile_schedule(4, (2, 2))
+        forged = dataclasses.replace(
+            compiled, steps=tuple(multiphase_schedule(4, (1, 3)))
+        )
+        violations = verify_fastpath_coefficients(forged)
+        assert any(v.check == "coeff-mismatch" for v in violations)
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("pattern,algorithm", pattern_variants())
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_patterns_certify(self, pattern, algorithm, d):
+        assert verify_pattern(pattern, algorithm, d) == []
+
+    @pytest.mark.parametrize("root", [0, 1, 5])
+    def test_nonzero_roots(self, root):
+        for pattern, algorithm in pattern_variants():
+            assert verify_pattern(pattern, algorithm, 3, root=root) == []
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError, match="allgather"):
+            verify_pattern("allgather", "ring", 3)
+
+
+class TestPlanDecisions:
+    def _decision(self, **overrides):
+        base = dict(
+            d=4, m=32.0, algorithm="multiphase", partition=(2, 2),
+            predicted_us=1.0, policy="model", source="policy",
+        )
+        base.update(overrides)
+        return PlanDecision(**base)
+
+    def test_partitioned_decision_certifies(self):
+        assert verify_plan_decision(self._decision()) == []
+
+    def test_naive_decision_certifies_per_step(self):
+        decision = self._decision(
+            algorithm="naive", partition=None, predicted_us=None
+        )
+        assert verify_plan_decision(decision) == []
+
+    def test_illegal_partition_rejected(self):
+        decision = self._decision(partition=(3, 3))
+        violations = verify_plan_decision(decision)
+        assert [v.check for v in violations] == ["plan-illegal"]
+
+
+class TestDriver:
+    def test_small_driver_run_certifies(self):
+        report = check_schedules(dims=(2, 3), block_sizes=(40.0,))
+        assert report.ok
+        # schedules + patterns + planner decisions all certified
+        assert any(c.startswith("schedule d=3") for c in report.certified)
+        assert any(c.startswith("pattern ") for c in report.certified)
+        assert any(c.startswith("plan ipsc860") for c in report.certified)
+
+    def test_driver_respects_preset_subset(self):
+        report = check_schedules(
+            dims=(2,), presets=("hypothetical",), block_sizes=(8.0,)
+        )
+        assert report.ok
+        assert not any("ipsc860" in c for c in report.certified)

@@ -105,5 +105,34 @@ class TestXorStepContention:
         n = 1 << d
         xor_schedule = [[(x, x ^ s) for x in range(n)] for s in range(1, n)]
         reversal_burst = [[(x, bit_reverse(x, d)) for x in range(n)]]
-        assert count_edge_conflicts(xor_schedule) == 0
-        assert count_edge_conflicts(reversal_burst) > 0
+        clean = count_edge_conflicts(xor_schedule)
+        assert clean.total == 0
+        assert clean.clean
+        assert clean.n_steps == n - 1
+        assert clean.steps == ()
+        dirty = count_edge_conflicts(reversal_burst)
+        assert dirty.total > 0
+        assert not dirty.clean
+
+    def test_count_edge_conflicts_provenance(self):
+        """The detail names the offending step index and its links."""
+        from repro.util.bitops import bit_reverse
+
+        d = 4
+        n = 1 << d
+        schedule = [
+            [(x, x ^ 1) for x in range(n)],          # clean
+            [(x, bit_reverse(x, d)) for x in range(n)],  # contended
+            [(x, x ^ 2) for x in range(n)],          # clean
+        ]
+        report = count_edge_conflicts(schedule)
+        assert report.n_steps == 3
+        assert [step.step_index for step in report.steps] == [1]
+        (bad,) = report.steps
+        assert bad.n_conflict_links > 0
+        assert all(load >= 2 for load in bad.edge_conflicts.values())
+        # the named links really are the contended ones
+        expected = analyze_contention(schedule[1]).edge_conflicts
+        assert bad.edge_conflicts == expected
+        assert report.total == len(expected)
+        assert "1 contended" in report.summary()

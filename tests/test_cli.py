@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -551,3 +553,31 @@ class TestReviewRegressions:
         assert "stored table:" in out
         assert "{3,4}              0.0 ..   500.0 bytes" in out
         assert "{7}              500.0 ..       ? bytes" in out
+
+
+class TestCheckCommand:
+    def test_check_code_is_clean(self, capsys):
+        assert main(["check", "--code"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+        assert "code:float-eq" not in out  # certified list only in --json
+
+    def test_check_schedules_small_dims(self, capsys):
+        assert main(["check", "--schedules", "--dims", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_check_json_document(self, capsys):
+        assert main(["check", "--code", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert any(c.startswith("code:") for c in doc["certified"])
+        assert doc["violations"] == []
+
+    def test_check_flags_violations_nonzero(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import time\nasync def f():\n    time.sleep(1)\n"
+        )
+        assert main(["check", "--code", "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "async-blocking" in out
