@@ -144,6 +144,7 @@ class TestMain:
             "planner_cache",
             "async_serving",
             "fastpath",
+            "wire_protocol",
         }
         for metrics in doc["benchmarks"].values():
             assert all(value > 1.0 for value in metrics.values())

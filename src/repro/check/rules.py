@@ -22,7 +22,10 @@ unseeded-rand  no unseeded randomness: ``default_rng()`` without a
                stdlib ``random`` module calls under ``src/``
 protocol-drift a module-level ``ALL_CAPS`` literal defined in two
                or more of ``server.py`` / ``async_server.py`` /
-               ``client.py`` in the same directory must agree
+               ``client.py`` / ``wire.py`` in the same directory must
+               agree — covering the binary frame constants (magic,
+               version, opcodes, header layout) as well as the JSON
+               limits
 wall-clock     no wall-clock reads (``time.time``,
                ``perf_counter``, ``monotonic``) under ``src/`` —
                simulated time is the only clock
@@ -290,7 +293,7 @@ def _check_wall_clock(source: SourceFile) -> Iterator[tuple[int, str, dict]]:
 # ----------------------------------------------------------------------
 # rule: protocol-drift (project-wide)
 # ----------------------------------------------------------------------
-_PROTOCOL_FILES = {"server.py", "async_server.py", "client.py"}
+_PROTOCOL_FILES = {"server.py", "async_server.py", "client.py", "wire.py"}
 
 
 def _module_constants(tree: ast.Module) -> dict[str, tuple[int, object]]:
@@ -388,8 +391,9 @@ RULES: tuple[LintRule, ...] = (
     ),
     LintRule(
         rule_id="protocol-drift",
-        description="protocol constants agree across server/async_server/client",
-        fix_hint="define the constant once (server.py) and import it elsewhere",
+        description="protocol constants agree across server/async_server/client/wire",
+        fix_hint="define the constant once (server.py for JSON limits, wire.py "
+                 "for frame constants) and import it elsewhere",
         check_project=_check_protocol_drift,
     ),
 )

@@ -183,6 +183,21 @@ def build_parser() -> argparse.ArgumentParser:
         "occupancy (socket mode; default: 0 — flush at the end of "
         "the event-loop turn)",
     )
+    p_serve.add_argument(
+        "--auth-token", metavar="TOKEN", default=None,
+        help="require this shared secret at connection negotiation "
+        "(socket mode; binary HELLO token / JSON {\"op\": \"auth\"})",
+    )
+    p_serve.add_argument(
+        "--shed-queries", type=int, default=None, metavar="N",
+        help="shed query requests with RETRY_LATER once N queries are "
+        "pending in the micro-batcher (socket mode; default: off)",
+    )
+    p_serve.add_argument(
+        "--shed-bytes", type=int, default=None, metavar="BYTES",
+        help="shed query requests with RETRY_LATER once BYTES of "
+        "requests are admitted but unanswered (socket mode; default: off)",
+    )
 
     p_query = sub.add_parser(
         "query", help="one-shot optimizer query through the service path"
@@ -197,6 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect", metavar="ADDR",
         help="ask a running socket server (HOST:PORT or unix:PATH) "
         "instead of building an in-process registry",
+    )
+    p_query.add_argument(
+        "--wire", choices=("json", "binary"), default="json",
+        help="transport for --connect: JSON lines or the negotiated "
+        "length-prefixed binary protocol (default: json)",
+    )
+    p_query.add_argument(
+        "--auth-token", metavar="TOKEN", default=None,
+        help="shared secret for a server started with --auth-token "
+        "(requires --connect)",
     )
     p_query.add_argument(
         "--json", action="store_true", help="print the answer as JSON"
@@ -437,8 +462,16 @@ def cmd_shards(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    if args.socket is None and (args.max_batch is not None or args.hold_us is not None):
-        raise SystemExit("--max-batch/--hold-us only apply to --socket serving")
+    socket_only = (
+        ("--max-batch", args.max_batch),
+        ("--hold-us", args.hold_us),
+        ("--auth-token", args.auth_token),
+        ("--shed-queries", args.shed_queries),
+        ("--shed-bytes", args.shed_bytes),
+    )
+    misused = [flag for flag, value in socket_only if value is not None]
+    if args.socket is None and misused:
+        raise SystemExit(f"{'/'.join(misused)} only apply to --socket serving")
     registry = _registry(args.shards)
     default_preset: str | None = args.machine
     if args.machine not in registry.preset_names:
@@ -483,10 +516,13 @@ def cmd_serve(args) -> int:
                 default_preset=default_preset,
                 max_batch=args.max_batch if args.max_batch is not None else 64,
                 hold_us=args.hold_us if args.hold_us is not None else 0.0,
+                auth_token=args.auth_token,
+                shed_queries=args.shed_queries,
+                shed_bytes=args.shed_bytes,
                 ready=announce,
             )
         except ValueError as exc:
-            # bad --max-batch / --hold-us values surface here
+            # bad --max-batch / --hold-us / --shed-* values surface here
             raise SystemExit(str(exc))
         except OSError as exc:
             raise SystemExit(f"cannot serve on {address}: {exc}")
@@ -500,7 +536,10 @@ def cmd_serve(args) -> int:
             f"{server_stats.batches} batches "
             f"(mean occupancy {server_stats.mean_batch_queries:.1f}, "
             f"peak {server_stats.peak_batch_queries}), "
-            f"{stats.grid_calls - base['grid_calls']} grid calls",
+            f"{stats.grid_calls - base['grid_calls']} grid calls, "
+            f"{server_stats.binary_connections} binary connections, "
+            f"{server_stats.shed} shed, "
+            f"p99 {server_stats.p99_us:.0f} us",
             file=sys.stderr,
         )
         return 0
@@ -521,6 +560,10 @@ def cmd_serve(args) -> int:
 def cmd_query(args) -> int:
     if args.connect:
         return _cmd_query_connect(args)
+    if args.wire != "json":
+        raise SystemExit("--wire only applies to --connect queries")
+    if args.auth_token is not None:
+        raise SystemExit("--auth-token only applies to --connect queries")
     registry = _registry(args.shards)
     try:
         result = registry.resolve([(args.machine, args.d, args.m)])[0]
@@ -563,7 +606,9 @@ def _cmd_query_connect(args) -> int:
     if args.shards:
         raise SystemExit("--connect and --shards are mutually exclusive")
     try:
-        with ServiceClient(args.connect) as client:
+        with ServiceClient(
+            args.connect, wire=args.wire, auth_token=args.auth_token
+        ) as client:
             response = client.query(args.d, args.m, preset=args.machine)
     except ValueError as exc:
         raise SystemExit(str(exc))

@@ -22,15 +22,24 @@ repeated future use".  This subsystem is the *repeated future use*:
     TCP/Unix sockets with per-connection pipelining and a cross-client
     micro-batcher coalescing concurrently pending queries into single
     grid passes (``repro serve --socket``).
+:mod:`repro.service.wire`
+    The length-prefixed binary wire protocol (magic + version + opcode
+    frames, packed ``(preset_id, d, m)`` query records, contiguous
+    answer arrays) negotiated per connection with JSON fallback.
 :mod:`repro.service.client`
     :class:`ServiceClient` / :class:`AsyncServiceClient` — sync and
-    asyncio clients with pipelined ``query_many``.
+    asyncio clients with pipelined ``query_many`` on either wire.
 :mod:`repro.service.warmup`
     :func:`warm_registry` — seed the result memo from a JSON-lines
     query log before the first connection (``repro serve --warm``).
 """
 
-from repro.service.async_server import AsyncOptimizerServer, ServerStats, run_server
+from repro.service.async_server import (
+    AsyncOptimizerServer,
+    LatencyHistogram,
+    ServerStats,
+    run_server,
+)
 from repro.service.batch import Query, QueryBatch, QueryResult, as_query, resolve_queries
 from repro.service.client import (
     Address,
@@ -48,6 +57,7 @@ __all__ = [
     "AsyncOptimizerServer",
     "AsyncServiceClient",
     "DEFAULT_DIMS",
+    "LatencyHistogram",
     "MAX_BATCH_QUERIES",
     "OptimizerRegistry",
     "Query",

@@ -24,6 +24,17 @@ uses — what the socket transport adds is *concurrency*:
   client never waits on a clock.  A ``hold_us`` window (``> 0``)
   instead holds the batch up to that long to gather occupancy across
   turns — the latency/amortization trade is configuration, not code;
+* **a negotiated binary wire** — a connection whose first four bytes
+  are :data:`repro.service.wire.WIRE_MAGIC` speaks the length-prefixed
+  binary protocol of :mod:`repro.service.wire`: a ``HELLO`` exchange
+  carries the auth token and returns the preset catalog, then packed
+  ``(preset_id, d, m)`` query frames answer with contiguous float64
+  time arrays plus provenance codes.  Query frames are deduplicated
+  with :func:`numpy.unique` and validated column-wise
+  (:func:`~repro.service.batch.queries_from_arrays`), so the Python
+  object work per frame is proportional to *distinct* cells, not
+  queries.  Any other first bytes fall back to the JSON-lines
+  transport byte-for-byte unchanged;
 * **graceful drain** — :meth:`AsyncOptimizerServer.aclose` (also
   triggered by the socket-only ``{"op": "shutdown"}`` request and by
   SIGINT/SIGTERM under :func:`run_server`) stops accepting, stops
@@ -33,11 +44,19 @@ uses — what the socket transport adds is *concurrency*:
   bounded per connection (``max_pipeline``): past the bound the server
   stops reading and lets TCP push back, so a client that never reads
   its responses cannot grow server memory without limit;
-* **per-server stats** — :class:`ServerStats` counts connections,
-  requests, in-flight depth, and batch occupancy next to the
-  registry's own memo/grid counters; the ``{"op": "stats"}`` response
-  carries them in a ``server`` section (stdio responses are
-  unchanged).
+* **SLO-grade telemetry and admission control** — every request's
+  admission-to-response latency lands in a fixed-bucket
+  :class:`LatencyHistogram` surfaced as ``p50_us``/``p99_us`` in
+  :class:`ServerStats` and the ``{"op": "stats"}`` response; when the
+  batcher depth or admitted-but-unanswered bytes pass the configurable
+  ``shed_queries`` / ``shed_bytes`` high-water marks, new query
+  requests are shed with an explicit retry signal (a JSON error doc
+  with ``"retry": true``, an ``OP_RETRY_LATER`` frame on the binary
+  wire) instead of queueing without bound;
+* **optional shared-secret auth** — with ``auth_token`` set, a binary
+  client's ``HELLO`` must carry the token and a JSON client must send
+  ``{"op": "auth", "token": ...}`` before anything else; failures are
+  answered in-band and counted, then the connection closes.
 
 One event loop, one registry: resolution runs on the loop, so the
 registry needs no locking and the memo/LRU stay exactly as consistent
@@ -51,10 +70,20 @@ import contextlib
 import json
 import os
 import signal
-from dataclasses import dataclass
-from typing import Callable
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Callable
 
-from repro.service.batch import Query, QueryResult, check_query_values, resolve_queries
+import numpy as np
+
+from repro.service import wire
+from repro.service.batch import (
+    Query,
+    QueryResult,
+    check_query_values,
+    queries_from_arrays,
+    resolve_queries,
+)
 from repro.service.client import Address, parse_address
 from repro.service.registry import OptimizerRegistry
 from repro.service.server import (
@@ -63,9 +92,97 @@ from repro.service.server import (
     error_response,
     extract_queries,
     handle_op,
+    overload_response,
+)
+from repro.service.wire import (
+    OP_HELLO,
+    OP_HELLO_OK,
+    OP_QUERY,
+    OP_RESULT,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    WireError,
+    error_frame,
+    pack_frame,
 )
 
-__all__ = ["AsyncOptimizerServer", "ServerStats", "run_server"]
+__all__ = [
+    "AsyncOptimizerServer",
+    "LatencyHistogram",
+    "ServerStats",
+    "run_server",
+]
+
+
+class LatencyHistogram:
+    """Fixed-bucket request-latency histogram (microseconds).
+
+    Power-of-two bucket bounds from 1 µs to ~33 s plus an overflow
+    bucket: recording is one :func:`bisect.bisect_left` and an
+    increment, so it is cheap enough for every response, and the fixed
+    shape means percentile queries never allocate.  Percentiles
+    interpolate linearly inside the winning bucket (the overflow
+    bucket reports the observed maximum).
+    """
+
+    #: upper bounds (inclusive) of the finite buckets, in microseconds
+    BOUNDS: tuple[float, ...] = tuple(float(1 << k) for k in range(26))
+
+    __slots__ = ("counts", "count", "total_us", "max_us")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(self.BOUNDS) + 1)
+        self.count = 0
+        self.total_us = 0.0
+        self.max_us = 0.0
+
+    def record(self, us: float) -> None:
+        self.counts[bisect_left(self.BOUNDS, us)] += 1
+        self.count += 1
+        self.total_us += us
+        if us > self.max_us:
+            self.max_us = us
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile latency in microseconds."""
+        if not self.count:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                low = self.BOUNDS[index - 1] if index else 0.0
+                high = (
+                    self.BOUNDS[index]
+                    if index < len(self.BOUNDS)
+                    else self.max_us
+                )
+                return low + (high - low) * (rank - cumulative) / bucket_count
+            cumulative += bucket_count
+        return self.max_us
+
+    def as_dict(self) -> dict:
+        """Count, mean/max, p50/p99, and the non-empty buckets as
+        ``[upper_bound_us_or_null, count]`` pairs (null = overflow)."""
+        buckets = [
+            [self.BOUNDS[i] if i < len(self.BOUNDS) else None, c]
+            for i, c in enumerate(self.counts)
+            if c
+        ]
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "max_us": self.max_us,
+            "p50_us": self.percentile(50.0),
+            "p99_us": self.percentile(99.0),
+            "buckets": buckets,
+        }
 
 
 @dataclass
@@ -75,15 +192,28 @@ class ServerStats:
     #: connections accepted / fully closed
     connections_opened: int = 0
     connections_closed: int = 0
+    #: connections that negotiated the binary wire protocol
+    binary_connections: int = 0
     #: request lines admitted (including ones that answer with errors)
     requests: int = 0
     #: responses written back to clients
     responses: int = 0
-    #: responses that carried ``{"ok": false}``
+    #: responses that carried ``{"ok": false}`` (or an error frame)
     errors: int = 0
+    #: query requests refused by admission control (RETRY_LATER)
+    shed: int = 0
+    #: responses dropped at drain because their client stopped reading
+    dropped: int = 0
+    #: failed authentication attempts (wrong token)
+    auth_failures: int = 0
     #: requests admitted but not yet answered (live gauge) and its peak
     in_flight: int = 0
     peak_in_flight: int = 0
+    #: request bytes admitted but not yet answered, and its peak —
+    #: the byte-denominated twin of ``in_flight`` that ``shed_bytes``
+    #: admission control watches
+    inflight_bytes: int = 0
+    peak_inflight_bytes: int = 0
     #: micro-batcher flushes, and what triggered each
     batches: int = 0
     flushes_size: int = 0
@@ -94,6 +224,8 @@ class ServerStats:
     batched_queries: int = 0
     batched_requests: int = 0
     peak_batch_queries: int = 0
+    #: admission-to-response latency of every answered request
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     @property
     def connections_active(self) -> int:
@@ -104,16 +236,30 @@ class ServerStats:
         """Average flush occupancy (queries per grid-coalesced pass)."""
         return self.batched_queries / self.batches if self.batches else 0.0
 
+    @property
+    def p50_us(self) -> float:
+        return self.latency.percentile(50.0)
+
+    @property
+    def p99_us(self) -> float:
+        return self.latency.percentile(99.0)
+
     def as_dict(self) -> dict:
         return {
             "connections_opened": self.connections_opened,
             "connections_closed": self.connections_closed,
             "connections_active": self.connections_active,
+            "binary_connections": self.binary_connections,
             "requests": self.requests,
             "responses": self.responses,
             "errors": self.errors,
+            "shed": self.shed,
+            "dropped": self.dropped,
+            "auth_failures": self.auth_failures,
             "in_flight": self.in_flight,
             "peak_in_flight": self.peak_in_flight,
+            "inflight_bytes": self.inflight_bytes,
+            "peak_inflight_bytes": self.peak_inflight_bytes,
             "batches": self.batches,
             "flushes_size": self.flushes_size,
             "flushes_drain": self.flushes_drain,
@@ -122,6 +268,9 @@ class ServerStats:
             "batched_requests": self.batched_requests,
             "peak_batch_queries": self.peak_batch_queries,
             "mean_batch_queries": self.mean_batch_queries,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "latency": self.latency.as_dict(),
         }
 
 
@@ -164,6 +313,12 @@ class _MicroBatcher:
         self._pending: list[tuple[list[Query], asyncio.Future]] = []
         self._pending_queries = 0
         self._scheduled: asyncio.TimerHandle | asyncio.Handle | None = None
+
+    @property
+    def pending_queries(self) -> int:
+        """Queries admitted but not yet flushed — the depth that
+        ``shed_queries`` admission control watches."""
+        return self._pending_queries
 
     def submit(self, queries: list[Query]) -> "asyncio.Future[list[QueryResult]]":
         """Queue one request's queries; the future resolves at flush."""
@@ -238,7 +393,14 @@ class AsyncOptimizerServer:
         max_line_bytes: int = 1 << 20,
         max_pipeline: int = 1024,
         drain_timeout: float = 5.0,
+        auth_token: str | None = None,
+        shed_queries: int | None = None,
+        shed_bytes: int | None = None,
     ) -> None:
+        if shed_queries is not None and shed_queries < 1:
+            raise ValueError(f"shed_queries must be >= 1, got {shed_queries}")
+        if shed_bytes is not None and shed_bytes < 1:
+            raise ValueError(f"shed_bytes must be >= 1, got {shed_bytes}")
         self.registry = registry
         self.stats = ServerStats()
         self._default_preset = default_preset
@@ -253,9 +415,17 @@ class AsyncOptimizerServer:
         #: reach a slow client before dropping them (shutdown must not
         #: hang on a client that stopped reading)
         self._drain_timeout = drain_timeout
+        #: shared secret: binary HELLOs must carry it, JSON connections
+        #: must send {"op": "auth", "token": ...} before anything else
+        self._auth_token = auth_token
+        #: admission-control high-water marks (None = shedding off):
+        #: queries pending in the batcher / bytes admitted-but-unanswered
+        self._shed_queries = shed_queries
+        self._shed_bytes = shed_bytes
         self._batcher = _MicroBatcher(
             registry, self.stats, max_batch=max_batch, hold_s=hold_us / 1e6
         )
+        self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.base_events.Server | None = None
         self._bound: Address | None = None
         self._connections: set[asyncio.Task] = set()
@@ -269,6 +439,7 @@ class AsyncOptimizerServer:
         """Bind and begin accepting connections."""
         if self._server is not None:
             raise RuntimeError("server is already started")
+        self._loop = asyncio.get_running_loop()
         addr = parse_address(address)
         if addr.kind == "unix":
             self._server = await asyncio.start_unix_server(
@@ -323,6 +494,10 @@ class AsyncOptimizerServer:
     # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
+    def _now(self) -> float:
+        assert self._loop is not None
+        return self._loop.time()
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -338,32 +513,19 @@ class AsyncOptimizerServer:
             self._write_responses(responses, writer, window)
         )
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except ValueError:
-                    # a line beyond the transport cap: answer in-band,
-                    # then close — framing past it is unknowable
-                    self._count_admitted()
-                    responses.put_nowait(("done", {
-                        "ok": False,
-                        "error": f"request line exceeds {self._max_line_bytes} bytes",
-                    }))
-                    break
-                if not line:
-                    break
-                text = line.strip()
-                if not text:
-                    continue
-                # blocks only when the client is max_pipeline responses
-                # behind — reading stops, and TCP pushes back
-                await window.acquire()
-                # admission is synchronous: when every readable line has
-                # been admitted the loop turn ends, and that is exactly
-                # when the batcher's end-of-turn flush fires
-                self._admit_line(
-                    text.decode("utf-8", "replace"), responses.put_nowait
-                )
+            # transport sniff: a binary session opens with the frame
+            # magic; anything else — including a short line like "[]" —
+            # is the JSON transport, with the sniffed bytes replayed
+            prefix, eof = b"", False
+            try:
+                prefix = await reader.readexactly(len(WIRE_MAGIC))
+            except asyncio.IncompleteReadError as short:
+                prefix, eof = short.partial, True
+            if prefix == WIRE_MAGIC:
+                self.stats.binary_connections += 1
+                await self._serve_binary(reader, responses, window)
+            else:
+                await self._serve_json(reader, prefix, eof, responses, window)
         except asyncio.CancelledError:
             pass  # drain: stop reading, fall through to flush the queue
         except (ConnectionResetError, BrokenPipeError, OSError):
@@ -385,6 +547,236 @@ class AsyncOptimizerServer:
             self.stats.connections_closed += 1
             self._connections.discard(task)
 
+    # ------------------------------------------------------------------
+    # JSON-lines transport
+    # ------------------------------------------------------------------
+    async def _iter_lines(
+        self, reader: asyncio.StreamReader, prefix: bytes, eof: bool
+    ) -> AsyncIterator[bytes]:
+        """The connection's request lines, replaying sniffed bytes."""
+        while b"\n" in prefix:
+            line, _, prefix = prefix.partition(b"\n")
+            yield line + b"\n"
+        if eof:
+            if prefix:
+                yield prefix  # final unterminated line
+            return
+        if prefix:
+            yield prefix + await reader.readline()
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            yield line
+
+    async def _serve_json(
+        self,
+        reader: asyncio.StreamReader,
+        prefix: bytes,
+        eof: bool,
+        responses: asyncio.Queue,
+        window: asyncio.Semaphore,
+    ) -> None:
+        authed = self._auth_token is None
+        lines = self._iter_lines(reader, prefix, eof)
+        while True:
+            try:
+                line = await anext(lines)
+            except StopAsyncIteration:
+                break
+            except ValueError:
+                # a line beyond the transport cap: answer in-band,
+                # then close — framing past it is unknowable
+                self._count_admitted()
+                responses.put_nowait(("done", {
+                    "ok": False,
+                    "error": f"request line exceeds {self._max_line_bytes} bytes",
+                }, self._now(), 0))
+                break
+            text = line.strip()
+            if not text:
+                continue
+            # blocks only when the client is max_pipeline responses
+            # behind — reading stops, and TCP pushes back
+            await window.acquire()
+            t0 = self._now()
+            decoded = text.decode("utf-8", "replace")
+            if not authed:
+                authed, keep_open = self._admit_preauth(
+                    decoded, responses.put_nowait, t0, len(line)
+                )
+                if not keep_open:
+                    break
+                continue
+            # admission is synchronous: when every readable line has
+            # been admitted the loop turn ends, and that is exactly
+            # when the batcher's end-of-turn flush fires
+            self._admit_line(decoded, responses.put_nowait, t0, len(line))
+
+    def _admit_preauth(
+        self,
+        text: str,
+        enqueue: Callable[[tuple], None],
+        t0: float,
+        nbytes: int,
+    ) -> tuple[bool, bool]:
+        """Answer one line on a connection that has not authenticated
+        yet; returns ``(authed, keep_open)``.  Only ``{"op": "auth"}``
+        can make progress — everything else is refused in-band (the
+        connection survives, so a client can still discover the
+        requirement), and a wrong token closes the session."""
+        self._count_admitted(nbytes)
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            enqueue(("done", {"ok": False, "error": f"invalid JSON: {exc}"}, t0, nbytes))
+            return False, True
+        request_id = obj.get("id") if isinstance(obj, dict) else None
+        if isinstance(obj, dict) and obj.get("op") == "auth":
+            if obj.get("token") == self._auth_token:
+                doc: dict = {"ok": True, "op": "auth"}
+                if request_id is not None:
+                    doc["id"] = request_id
+                enqueue(("done", doc, t0, nbytes))
+                return True, True
+            self.stats.auth_failures += 1
+            enqueue(("done", error_response(
+                ValueError("invalid auth token"), request_id
+            ), t0, nbytes))
+            return False, False
+        enqueue(("done", error_response(
+            ValueError(
+                'authentication required: send {"op": "auth", "token": ...} first'
+            ),
+            request_id,
+        ), t0, nbytes))
+        return False, True
+
+    # ------------------------------------------------------------------
+    # binary transport
+    # ------------------------------------------------------------------
+    async def _serve_binary(
+        self,
+        reader: asyncio.StreamReader,
+        responses: asyncio.Queue,
+        window: asyncio.Semaphore,
+    ) -> None:
+        enqueue = responses.put_nowait
+        catalog = list(self.registry.preset_names)
+        hello_done = False
+        first = WIRE_MAGIC  # the sniff consumed the first frame's magic
+        while True:
+            try:
+                version, opcode, payload = await wire.read_frame(
+                    reader, first=first, max_payload=self._max_line_bytes
+                )
+            except asyncio.IncompleteReadError as short:
+                if short.partial or first:
+                    # mid-header cut: answer in-band, then close
+                    self._count_admitted()
+                    enqueue(("frame", error_frame(
+                        "connection closed mid-frame (truncated header)"
+                    ), True, self._now(), 0))
+                break  # clean EOF at a frame boundary
+            except WireError as exc:
+                # bad magic / oversized length / truncated payload:
+                # framing is lost — answer in-band, then close
+                self._count_admitted()
+                enqueue(("frame", error_frame(str(exc)), True, self._now(), 0))
+                break
+            first = b""
+            await window.acquire()
+            t0 = self._now()
+            nbytes = wire.HEADER_BYTES + len(payload)
+            self._count_admitted(nbytes)
+            if opcode == OP_HELLO:
+                if version != WIRE_VERSION:
+                    enqueue(("frame", error_frame(
+                        f"unsupported wire version {version} "
+                        f"(server speaks {WIRE_VERSION})"
+                    ), True, t0, nbytes))
+                    continue  # the client may retry with a supported HELLO
+                try:
+                    token = wire.parse_hello(payload)
+                except WireError as exc:
+                    enqueue(("frame", error_frame(str(exc)), True, t0, nbytes))
+                    continue
+                if self._auth_token is not None and token != self._auth_token:
+                    self.stats.auth_failures += 1
+                    enqueue(("frame", error_frame("invalid auth token"), True, t0, nbytes))
+                    break
+                hello_done = True
+                enqueue(("frame", pack_frame(OP_HELLO_OK, wire.hello_ok_payload(
+                    catalog, self._default_preset, self._max_queries
+                )), False, t0, nbytes))
+                continue
+            if not hello_done:
+                enqueue(("frame", error_frame(
+                    f"expected a HELLO frame before opcode {opcode}"
+                ), True, t0, nbytes))
+                continue
+            if opcode != OP_QUERY:
+                enqueue(("frame", error_frame(
+                    f"unknown opcode {opcode}; clients send HELLO and QUERY"
+                ), True, t0, nbytes))
+                continue
+            self._admit_query_frame(payload, catalog, enqueue, t0, nbytes)
+
+    def _admit_query_frame(
+        self,
+        payload: bytes,
+        catalog: list[str],
+        enqueue: Callable[[tuple], None],
+        t0: float,
+        nbytes: int,
+    ) -> None:
+        """Admit one ``OP_QUERY`` frame: decode, shed-check, validate
+        column-wise, deduplicate, and enter the shared micro-batch."""
+        try:
+            records = wire.decode_query_payload(payload)
+        except WireError as exc:
+            enqueue(("frame", error_frame(str(exc)), True, t0, nbytes))
+            return
+        if len(records) > self._max_queries:
+            enqueue(("frame", error_frame(
+                f"batch of {len(records)} queries exceeds the per-request "
+                f"limit of {self._max_queries}"
+            ), True, t0, nbytes))
+            return
+        shed = self._shed_reason()
+        if shed is not None:
+            self.stats.shed += 1
+            enqueue(("frame", error_frame(
+                f"server overloaded: {shed}; retry later", retry=True
+            ), True, t0, nbytes))
+            return
+        try:
+            # within-frame dedup: Query construction and memo probing
+            # cost one pass over *distinct* cells; the writer scatters
+            # results back to request order through the inverse
+            unique, inverse = np.unique(records, return_inverse=True)
+            queries = queries_from_arrays(catalog, unique)
+        except (TypeError, ValueError, OverflowError) as exc:
+            enqueue(("frame", error_frame(str(exc)), True, t0, nbytes))
+            return
+        except Exception as exc:  # noqa: BLE001 — see _admit_line
+            enqueue(("frame", error_frame(
+                f"internal server error: {exc}"
+            ), True, t0, nbytes))
+            return
+        # np.unique sorts, so results come back in *cell* order; the
+        # writer needs the inverse to restore request order unless the
+        # frame already was sorted-and-distinct (then inverse is the
+        # identity and the scatter can be skipped)
+        identity = len(unique) == len(records) and bool(
+            np.array_equal(inverse, np.arange(len(records)))
+        )
+        scatter = None if identity else inverse
+        enqueue(("bquery", self._batcher.submit(queries), scatter, t0, nbytes))
+
+    # ------------------------------------------------------------------
+    # shared admission plumbing
+    # ------------------------------------------------------------------
     async def _drain_writer(
         self, writer_task: asyncio.Task, responses: asyncio.Queue
     ) -> None:
@@ -421,29 +813,79 @@ class AsyncOptimizerServer:
                 break
             if item is not None:
                 self.stats.in_flight -= 1
+                self.stats.inflight_bytes -= item[-1]
+                self.stats.dropped += 1
 
-    def _count_admitted(self) -> None:
-        self.stats.requests += 1
-        self.stats.in_flight += 1
-        self.stats.peak_in_flight = max(
-            self.stats.peak_in_flight, self.stats.in_flight
+    def _count_admitted(self, nbytes: int = 0) -> None:
+        stats = self.stats
+        stats.requests += 1
+        stats.in_flight += 1
+        stats.peak_in_flight = max(stats.peak_in_flight, stats.in_flight)
+        stats.inflight_bytes += nbytes
+        stats.peak_inflight_bytes = max(
+            stats.peak_inflight_bytes, stats.inflight_bytes
         )
 
-    def _admit_line(self, text: str, enqueue: Callable[[tuple], None]) -> None:
+    def _shed_reason(self) -> str | None:
+        """The admission-control verdict for one query request —
+        ``None`` admits; a reason string sheds with RETRY_LATER."""
+        if (
+            self._shed_queries is not None
+            and self._batcher.pending_queries >= self._shed_queries
+        ):
+            return (
+                f"batcher depth {self._batcher.pending_queries} at the "
+                f"high-water mark of {self._shed_queries} queries"
+            )
+        if (
+            self._shed_bytes is not None
+            and self.stats.inflight_bytes >= self._shed_bytes
+        ):
+            return (
+                f"{self.stats.inflight_bytes} request bytes in flight at the "
+                f"high-water mark of {self._shed_bytes}"
+            )
+        return None
+
+    def _admit_line(
+        self,
+        text: str,
+        enqueue: Callable[[tuple], None],
+        t0: float,
+        nbytes: int = 0,
+    ) -> None:
         """Admit one request line without yielding: immediate responses
-        enqueue as ``("done", doc)``, query requests enter the shared
-        micro-batch and enqueue as ``("query", kind, id, future)``."""
-        self._count_admitted()
+        enqueue as ``("done", doc, t0, nbytes)``, query requests enter
+        the shared micro-batch and enqueue as
+        ``("query", kind, id, future, t0, nbytes)``."""
+        self._count_admitted(nbytes)
         try:
             obj = json.loads(text)
         except json.JSONDecodeError as exc:
-            enqueue(("done", {"ok": False, "error": f"invalid JSON: {exc}"}))
+            enqueue(("done", {"ok": False, "error": f"invalid JSON: {exc}"}, t0, nbytes))
             return
         request_id = obj.get("id") if isinstance(obj, dict) else None
         try:
             if isinstance(obj, dict) and obj.get("op") == "shutdown":
-                enqueue(("done", self._handle_shutdown(request_id)))
+                enqueue(("done", self._handle_shutdown(request_id), t0, nbytes))
                 return
+            if isinstance(obj, dict) and obj.get("op") == "auth":
+                # no auth is configured (or it already succeeded) — the
+                # op acknowledges idempotently, like shutdown it is a
+                # socket-transport op the stdio loop never sees
+                doc: dict = {"ok": True, "op": "auth"}
+                if request_id is not None:
+                    doc["id"] = request_id
+                enqueue(("done", doc, t0, nbytes))
+                return
+            if isinstance(obj, (list, dict)) and not (
+                isinstance(obj, dict) and "op" in obj
+            ):
+                shed = self._shed_reason()
+                if shed is not None:
+                    self.stats.shed += 1
+                    enqueue(("done", overload_response(shed, request_id), t0, nbytes))
+                    return
             extracted = extract_queries(
                 obj,
                 default_preset=self._default_preset,
@@ -457,7 +899,7 @@ class AsyncOptimizerServer:
                     response["server"] = self.stats.as_dict()
                 if request_id is not None:
                     response["id"] = request_id
-                enqueue(("done", response))
+                enqueue(("done", response, t0, nbytes))
                 return
             kind, queries = extracted
             # admission-validate *before* entering the shared batch: one
@@ -465,13 +907,13 @@ class AsyncOptimizerServer:
             # other clients' requests
             normalized = [self._admit_query(query) for query in queries]
         except (TypeError, ValueError, OverflowError) as exc:
-            enqueue(("done", error_response(exc, request_id)))
+            enqueue(("done", error_response(exc, request_id), t0, nbytes))
             return
         except Exception as exc:  # noqa: BLE001 — a multi-client server
             # answers in-band and keeps serving rather than dying
-            enqueue(("done", self._internal_error(exc, request_id)))
+            enqueue(("done", self._internal_error(exc, request_id), t0, nbytes))
             return
-        enqueue(("query", kind, request_id, self._batcher.submit(normalized)))
+        enqueue(("query", kind, request_id, self._batcher.submit(normalized), t0, nbytes))
 
     def _admit_query(self, query: Query) -> Query:
         """The :func:`~repro.service.batch.as_query` checks, applied in
@@ -505,30 +947,53 @@ class AsyncOptimizerServer:
         window: asyncio.Semaphore,
     ) -> None:
         """Consume the admission queue in FIFO order — resolving query
-        futures as they come up — and write each response."""
+        futures as they come up — and write each response.  Both
+        transports meet here: JSON items encode to a line, binary items
+        to a frame, and every settled item records its latency."""
         broken = False
         while True:
             item = await responses.get()
             if item is None:
                 return
-            if item[0] == "done":
-                response = item[1]
-            else:
-                _, kind, request_id, future = item
+            tag = item[0]
+            t0, nbytes = item[-2], item[-1]
+            is_error = False
+            if tag == "done":
+                doc = item[1]
+                is_error = not doc.get("ok", True)
+                out = json.dumps(doc).encode() + b"\n"
+            elif tag == "query":
+                _, kind, request_id, future, _, _ = item
                 try:
-                    response = build_response(kind, await future, request_id)
+                    doc = build_response(kind, await future, request_id)
                 except Exception as exc:  # noqa: BLE001 — see _admit_line
-                    response = self._internal_error(exc, request_id)
-            self.stats.in_flight -= 1
+                    doc = self._internal_error(exc, request_id)
+                is_error = not doc.get("ok", True)
+                out = json.dumps(doc).encode() + b"\n"
+            elif tag == "frame":
+                out, is_error = item[1], item[2]
+            else:  # "bquery": a binary query's resolved future
+                _, future, scatter, _, _ = item
+                try:
+                    out = pack_frame(
+                        OP_RESULT, wire.encode_results(await future, scatter)
+                    )
+                except Exception as exc:  # noqa: BLE001 — see _admit_line
+                    out = error_frame(f"internal server error: {exc}")
+                    is_error = True
+            stats = self.stats
+            stats.in_flight -= 1
+            stats.inflight_bytes -= nbytes
+            stats.latency.record((self._now() - t0) * 1e6)
             window.release()
-            if not response.get("ok", True):
-                self.stats.errors += 1
+            if is_error:
+                stats.errors += 1
             if broken:
                 continue  # keep consuming so in-flight accounting drains
             try:
-                writer.write(json.dumps(response).encode() + b"\n")
+                writer.write(out)
                 await writer.drain()
-                self.stats.responses += 1
+                stats.responses += 1
             except (ConnectionResetError, BrokenPipeError, OSError):
                 broken = True
 
@@ -541,6 +1006,9 @@ def run_server(
     max_batch: int = 64,
     hold_us: float = 0.0,
     max_queries: int = MAX_BATCH_QUERIES,
+    auth_token: str | None = None,
+    shed_queries: int | None = None,
+    shed_bytes: int | None = None,
     install_signal_handlers: bool = True,
     ready: Callable[[AsyncOptimizerServer], None] | None = None,
 ) -> ServerStats:
@@ -556,6 +1024,9 @@ def run_server(
             max_batch=max_batch,
             hold_us=hold_us,
             max_queries=max_queries,
+            auth_token=auth_token,
+            shed_queries=shed_queries,
+            shed_bytes=shed_bytes,
         )
         await server.start(address)
         if install_signal_handlers:

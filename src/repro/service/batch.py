@@ -26,11 +26,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+import numpy as np
 
 from repro.core.partitions import cached_partitions
 from repro.model.vectorized import grid_winners, multiphase_time_grid
-from repro.util.validation import check_block_size, check_dimension
+from repro.util.validation import MAX_DIMENSION, check_block_size, check_dimension
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.service.registry import OptimizerRegistry
@@ -41,6 +43,7 @@ __all__ = [
     "QueryResult",
     "as_query",
     "check_query_values",
+    "queries_from_arrays",
     "resolve_queries",
 ]
 
@@ -78,6 +81,53 @@ def check_query_values(d: int, m: float) -> None:
     check_block_size(m)
     if not math.isfinite(m):
         raise ValueError(f"block size must be finite, got {m}")
+
+
+def queries_from_arrays(
+    catalog: Sequence[str], records: np.ndarray
+) -> list[Query]:
+    """Normalized :class:`Query` objects for packed wire records.
+
+    ``records`` is an array of ``(preset, d, m)`` records (the binary
+    transport's :data:`repro.service.wire.QUERY_DTYPE`); ``catalog``
+    maps its integer preset indices to preset names.  Validation is the
+    same gate :func:`check_query_values` applies per query — dimension
+    in range, block size finite and non-negative — but evaluated over
+    whole columns in numpy, so the admission cost of a frame is
+    proportional to one pass, not one Python call per query.  The
+    returned queries are ``pre_normalized``-grade for
+    :func:`resolve_queries`.
+    """
+    presets = records["preset"]
+    dims = records["d"]
+    sizes = records["m"]
+    if presets.size and int(presets.max()) >= len(catalog):
+        bad = int(presets[presets >= len(catalog)][0])
+        raise ValueError(
+            f"preset index {bad} out of range for a catalog of {len(catalog)}"
+        )
+    if dims.size:
+        lo, hi = int(dims.min()), int(dims.max())
+        if lo < 1:
+            raise ValueError(f"cube dimension must be >= 1, got {lo}")
+        if hi > MAX_DIMENSION:
+            raise ValueError(
+                f"cube dimension {hi} exceeds the supported maximum "
+                f"{MAX_DIMENSION} ({2 ** MAX_DIMENSION} nodes); did you "
+                f"pass the node count instead?"
+            )
+    if sizes.size and not bool(np.isfinite(sizes).all()):
+        bad_m = float(sizes[~np.isfinite(sizes)][0])
+        raise ValueError(f"block size must be finite, got {bad_m}")
+    if sizes.size and bool((sizes < 0).any()):
+        raise ValueError(
+            f"block size must be >= 0, got {float(sizes[sizes < 0][0])}"
+        )
+    names = [catalog[int(p)] for p in presets.tolist()]
+    return [
+        Query(preset=name, d=d, m=m)
+        for name, d, m in zip(names, dims.tolist(), sizes.tolist())
+    ]
 
 
 def as_query(item: "Query | tuple[str | None, int, float]") -> Query:

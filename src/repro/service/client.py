@@ -1,8 +1,9 @@
 """Client library for the optimizer query service socket transport.
 
-Two clients over the same JSON-lines protocol the stdio loop speaks
-(:mod:`repro.service.server`), pointed at a socket server
-(:mod:`repro.service.async_server`):
+Two clients over the same protocols the socket server speaks
+(:mod:`repro.service.async_server`) — the JSON-lines protocol of the
+stdio loop (:mod:`repro.service.server`) and, with ``wire="binary"``,
+the length-prefixed binary protocol of :mod:`repro.service.wire`:
 
 :class:`ServiceClient`
     Blocking sockets, for scripts and the ``repro query --connect``
@@ -12,6 +13,17 @@ Two clients over the same JSON-lines protocol the stdio loop speaks
 :class:`AsyncServiceClient`
     The same surface on asyncio streams, for concurrent load
     generators and services embedding the client in an event loop.
+
+On the binary wire the client opens with a ``HELLO`` (carrying the
+optional ``auth_token``) and keeps the server's ``HELLO_OK`` preset
+catalog, then :meth:`~ServiceClient.query_many` packs queries into
+``(preset_id, d, m)`` record frames and decodes the answer arrays back
+into the same response documents the JSON wire produces — callers
+cannot tell the transports apart by result shape.  Ops (``stats``,
+``shutdown``) stay JSON-connection affairs; a binary
+:meth:`~ServiceClient.presets` answers from the negotiated catalog.
+With ``auth_token`` on the JSON wire, the client authenticates with
+``{"op": "auth", "token": ...}`` before anything else.
 
 Addresses are written ``HOST:PORT`` (TCP; a bare ``:PORT`` binds
 loopback) or ``unix:PATH`` / any spec containing ``/`` (Unix domain
@@ -36,6 +48,8 @@ import socket
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from repro.service import wire as wire_proto
+
 __all__ = [
     "Address",
     "AsyncServiceClient",
@@ -43,6 +57,9 @@ __all__ = [
     "ServiceError",
     "parse_address",
 ]
+
+#: wire protocol selectors accepted by the clients
+_WIRES = ("json", "binary")
 
 
 class ServiceError(RuntimeError):
@@ -116,13 +133,133 @@ def _query_request(item: object, default_preset: str | None) -> dict:
     return doc
 
 
-class ServiceClient:
-    """Blocking JSON-lines client for one server connection.
+class _BinarySession:
+    """The negotiated state and codec logic both clients share on the
+    binary wire; the transports differ only in how bytes move."""
 
-    Usable as a context manager; the connection closes on exit.
+    def __init__(self, hello_ok: dict) -> None:
+        self.catalog: list[str] = [str(name) for name in hello_ok["presets"]]
+        self.preset_ids = {name: i for i, name in enumerate(self.catalog)}
+        default = hello_ok.get("default_preset")
+        self.default_preset: str | None = default if isinstance(default, str) else None
+
+    def spec(self, item: object, preset: str | None) -> dict:
+        """One query spec: the JSON request document plus its packed
+        preset index, validated client-side against the catalog."""
+        doc = _query_request(item, preset)
+        unknown = set(doc) - {"preset", "d", "m", "id"}
+        if unknown:
+            raise ValueError(f"unknown query fields {sorted(unknown)}")
+        name = doc.get("preset", self.default_preset)
+        if name is None:
+            raise ValueError(
+                "query has no machine preset and the server has no default"
+            )
+        preset_id = self.preset_ids.get(name)
+        if preset_id is None:
+            raise ValueError(
+                f"unknown machine preset {name!r} (server has {self.catalog})"
+            )
+        try:
+            d, m = doc["d"], doc["m"]
+        except KeyError as missing:
+            raise ValueError(
+                f"query is missing required field {missing}"
+            ) from None
+        return {"preset": name, "pid": preset_id, "d": d, "m": m, "id": doc.get("id")}
+
+    @staticmethod
+    def query_frame(specs: list[dict]) -> bytes:
+        records = wire_proto.make_query_records(
+            [(spec["pid"], spec["d"], spec["m"]) for spec in specs]
+        )
+        return wire_proto.pack_frame(
+            wire_proto.OP_QUERY, wire_proto.encode_query_records(records)
+        )
+
+    @staticmethod
+    def frame_docs(opcode: int, payload: bytes, specs: list[dict]) -> list[dict]:
+        """The response documents for one answer frame — the same
+        shape the JSON wire produces, so transports are swappable."""
+        if opcode == wire_proto.OP_RESULT:
+            times, sources, partitions = wire_proto.decode_result_payload(payload)
+            if len(sources) != len(specs):
+                raise ServiceError({
+                    "ok": False,
+                    "error": f"result frame carries {len(sources)} answers "
+                             f"for {len(specs)} queries",
+                })
+            docs = []
+            for spec, time_us, source, partition in zip(
+                specs, times.tolist(), sources, partitions
+            ):
+                doc: dict[str, Any] = {
+                    "ok": True,
+                    "preset": spec["preset"],
+                    "d": spec["d"],
+                    "m": spec["m"],
+                    "partition": list(partition),
+                    "time_us": time_us,
+                    "source": source,
+                }
+                if spec["id"] is not None:
+                    doc["id"] = spec["id"]
+                docs.append(doc)
+            return docs
+        message = payload.decode("utf-8", "replace")
+        base: dict[str, Any] = {"ok": False, "error": message}
+        if opcode == wire_proto.OP_RETRY_LATER:
+            base["retry"] = True
+        elif opcode != wire_proto.OP_ERROR:
+            base["error"] = f"unexpected frame opcode {opcode}: {message!r}"
+        docs = []
+        for spec in specs:
+            doc = dict(base)
+            if spec["id"] is not None:
+                doc["id"] = spec["id"]
+            docs.append(doc)
+        return docs
+
+
+def _frame_chunk(n_specs: int, frame_queries: int | None) -> int:
+    if frame_queries is None:
+        return max(n_specs, 1)
+    if frame_queries < 1:
+        raise ValueError(f"frame_queries must be >= 1, got {frame_queries}")
+    return frame_queries
+
+
+def _hello_session(opcode: int, payload: bytes) -> _BinarySession:
+    """Interpret the server's answer to a HELLO frame."""
+    if opcode == wire_proto.OP_ERROR:
+        raise ServiceError({"ok": False, "error": payload.decode("utf-8", "replace")})
+    if opcode != wire_proto.OP_HELLO_OK:
+        raise ServiceError({
+            "ok": False,
+            "error": f"expected HELLO_OK from the server, got opcode {opcode}",
+        })
+    return _BinarySession(wire_proto.parse_hello_ok(payload))
+
+
+class ServiceClient:
+    """Blocking client for one server connection.
+
+    ``wire="binary"`` negotiates the binary protocol at connect (and
+    carries ``auth_token`` in the HELLO); on the default JSON wire an
+    ``auth_token`` is presented via ``{"op": "auth"}`` first.  Usable
+    as a context manager; the connection closes on exit.
     """
 
-    def __init__(self, address: str | Address, *, timeout: float | None = 30.0) -> None:
+    def __init__(
+        self,
+        address: str | Address,
+        *,
+        timeout: float | None = 30.0,
+        wire: str = "json",
+        auth_token: str | None = None,
+    ) -> None:
+        if wire not in _WIRES:
+            raise ValueError(f"wire must be one of {_WIRES}, got {wire!r}")
         addr = parse_address(address)
         if addr.kind == "unix":
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -132,8 +269,20 @@ class ServiceClient:
             sock = socket.create_connection((addr.host, addr.port), timeout=timeout)
             sock.settimeout(timeout)
         self.address = addr
+        self.wire = wire
         self._sock = sock
         self._file = sock.makefile("rwb")
+        self._session: _BinarySession | None = None
+        if wire == "binary":
+            self._file.write(wire_proto.pack_frame(
+                wire_proto.OP_HELLO, wire_proto.hello_payload(auth_token)
+            ))
+            self._file.flush()
+            self._session = _hello_session(*self._read_frame())
+        elif auth_token is not None:
+            response = self.request({"op": "auth", "token": auth_token})
+            if not response.get("ok", False):
+                raise ServiceError(response)
 
     # ------------------------------------------------------------------
     # transport
@@ -149,8 +298,17 @@ class ServiceClient:
             raise ConnectionError("server closed the connection")
         return json.loads(line)
 
+    def _read_frame(self) -> tuple[int, bytes]:
+        _, opcode, payload = wire_proto.read_frame_blocking(self._file.read)
+        return opcode, payload
+
     def request(self, obj: dict) -> dict:
         """One request, one response — no interpretation of either."""
+        if self.wire == "binary":
+            raise ValueError(
+                "the binary wire carries query frames only; connect with "
+                "wire='json' for ops"
+            )
         self._write_lines([obj])
         return self._read_response()
 
@@ -162,23 +320,52 @@ class ServiceClient:
         doc: dict[str, Any] = {"d": d, "m": m}
         if preset is not None:
             doc["preset"] = preset
-        response = self.request(doc)
+        if self.wire == "binary":
+            response = self.query_many([doc])[0]
+        else:
+            response = self.request(doc)
         if not response.get("ok", False):
             raise ServiceError(response)
         return response
 
     def query_many(
-        self, queries: Iterable, *, preset: str | None = None
+        self,
+        queries: Iterable,
+        *,
+        preset: str | None = None,
+        frame_queries: int | None = None,
     ) -> list[dict]:
         """Pipelined lookups: write every request, then read every
         response (in request order — the protocol guarantees it).
         Returns the raw response documents; callers inspect ``ok``.
+
+        On the binary wire the queries pack into ``OP_QUERY`` record
+        frames — one frame by default, or ``frame_queries`` per frame
+        to bound per-frame latency; the response documents match the
+        JSON wire's shape.
         """
-        docs = [_query_request(q, preset) for q in queries]
-        if not docs:
+        if self.wire != "binary":
+            if frame_queries is not None:
+                raise ValueError("frame_queries applies to the binary wire only")
+            docs = [_query_request(q, preset) for q in queries]
+            if not docs:
+                return []
+            self._write_lines(docs)
+            return [self._read_response() for _ in docs]
+        session = self._session
+        assert session is not None
+        specs = [session.spec(q, preset) for q in queries]
+        if not specs:
             return []
-        self._write_lines(docs)
-        return [self._read_response() for _ in docs]
+        chunk = _frame_chunk(len(specs), frame_queries)
+        groups = [specs[i : i + chunk] for i in range(0, len(specs), chunk)]
+        self._file.write(b"".join(session.query_frame(g) for g in groups))
+        self._file.flush()
+        responses: list[dict] = []
+        for group in groups:
+            opcode, payload = self._read_frame()
+            responses.extend(session.frame_docs(opcode, payload, group))
+        return responses
 
     # ------------------------------------------------------------------
     # ops
@@ -192,6 +379,9 @@ class ServiceClient:
         return response
 
     def presets(self) -> list[str]:
+        if self._session is not None:
+            # the HELLO_OK already carried the catalog
+            return list(self._session.catalog)
         response = self.request({"op": "presets"})
         if not response.get("ok", False):
             raise ServiceError(response)
@@ -235,20 +425,41 @@ class AsyncServiceClient:
         writer: asyncio.StreamWriter,
     ) -> None:
         self.address = address
+        self.wire = "json"
         self._reader = reader
         self._writer = writer
+        self._session: _BinarySession | None = None
 
     @classmethod
     async def connect(
-        cls, address: str | Address, *, timeout: float | None = 30.0
+        cls,
+        address: str | Address,
+        *,
+        timeout: float | None = 30.0,
+        wire: str = "json",
+        auth_token: str | None = None,
     ) -> "AsyncServiceClient":
+        if wire not in _WIRES:
+            raise ValueError(f"wire must be one of {_WIRES}, got {wire!r}")
         addr = parse_address(address)
         if addr.kind == "unix":
             open_coro = asyncio.open_unix_connection(addr.path)
         else:
             open_coro = asyncio.open_connection(addr.host, addr.port)
         reader, writer = await asyncio.wait_for(open_coro, timeout)
-        return cls(addr, reader, writer)
+        client = cls(addr, reader, writer)
+        client.wire = wire
+        if wire == "binary":
+            writer.write(wire_proto.pack_frame(
+                wire_proto.OP_HELLO, wire_proto.hello_payload(auth_token)
+            ))
+            await writer.drain()
+            client._session = _hello_session(*await client._read_frame())
+        elif auth_token is not None:
+            response = await client.request({"op": "auth", "token": auth_token})
+            if not response.get("ok", False):
+                raise ServiceError(response)
+        return client
 
     async def _write_lines(self, docs: Iterable[dict]) -> None:
         payload = b"".join(json.dumps(doc).encode() + b"\n" for doc in docs)
@@ -261,7 +472,19 @@ class AsyncServiceClient:
             raise ConnectionError("server closed the connection")
         return json.loads(line)
 
+    async def _read_frame(self) -> tuple[int, bytes]:
+        try:
+            _, opcode, payload = await wire_proto.read_frame(self._reader)
+        except asyncio.IncompleteReadError:
+            raise ConnectionError("server closed the connection mid-frame") from None
+        return opcode, payload
+
     async def request(self, obj: dict) -> dict:
+        if self.wire == "binary":
+            raise ValueError(
+                "the binary wire carries query frames only; connect with "
+                "wire='json' for ops"
+            )
         await self._write_lines([obj])
         return await self._read_response()
 
@@ -269,21 +492,47 @@ class AsyncServiceClient:
         doc: dict[str, Any] = {"d": d, "m": m}
         if preset is not None:
             doc["preset"] = preset
-        response = await self.request(doc)
+        if self.wire == "binary":
+            response = (await self.query_many([doc]))[0]
+        else:
+            response = await self.request(doc)
         if not response.get("ok", False):
             raise ServiceError(response)
         return response
 
     async def query_many(
-        self, queries: Iterable, *, preset: str | None = None
+        self,
+        queries: Iterable,
+        *,
+        preset: str | None = None,
+        frame_queries: int | None = None,
     ) -> list[dict]:
         """Pipelined lookups: one write carries every request, then the
-        responses stream back in order."""
-        docs = [_query_request(q, preset) for q in queries]
-        if not docs:
+        responses stream back in order.  On the binary wire the queries
+        pack into ``OP_QUERY`` record frames (one by default,
+        ``frame_queries`` per frame to bound per-frame latency)."""
+        if self.wire != "binary":
+            if frame_queries is not None:
+                raise ValueError("frame_queries applies to the binary wire only")
+            docs = [_query_request(q, preset) for q in queries]
+            if not docs:
+                return []
+            await self._write_lines(docs)
+            return [await self._read_response() for _ in docs]
+        session = self._session
+        assert session is not None
+        specs = [session.spec(q, preset) for q in queries]
+        if not specs:
             return []
-        await self._write_lines(docs)
-        return [await self._read_response() for _ in docs]
+        chunk = _frame_chunk(len(specs), frame_queries)
+        groups = [specs[i : i + chunk] for i in range(0, len(specs), chunk)]
+        self._writer.write(b"".join(session.query_frame(g) for g in groups))
+        await self._writer.drain()
+        responses: list[dict] = []
+        for group in groups:
+            opcode, payload = await self._read_frame()
+            responses.extend(session.frame_docs(opcode, payload, group))
+        return responses
 
     async def stats(self) -> dict:
         response = await self.request({"op": "stats"})
@@ -292,6 +541,8 @@ class AsyncServiceClient:
         return response
 
     async def presets(self) -> list[str]:
+        if self._session is not None:
+            return list(self._session.catalog)
         response = await self.request({"op": "presets"})
         if not response.get("ok", False):
             raise ServiceError(response)

@@ -42,6 +42,7 @@ __all__ = [
     "extract_queries",
     "handle_op",
     "handle_request",
+    "overload_response",
     "query_from_obj",
     "result_to_dict",
     "serve",
@@ -152,6 +153,21 @@ def build_response(
 def error_response(exc: BaseException, request_id: Any = None) -> dict:
     """The canonical in-band error document."""
     response: dict = {"ok": False, "error": str(exc)}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def overload_response(reason: str, request_id: Any = None) -> dict:
+    """The canonical load-shed document — the JSON twin of the binary
+    wire's ``OP_RETRY_LATER`` frame.  ``"retry": true`` tells clients
+    the request was refused by admission control, not rejected as
+    malformed: resend after backoff."""
+    response: dict = {
+        "ok": False,
+        "error": f"server overloaded: {reason}; retry later",
+        "retry": True,
+    }
     if request_id is not None:
         response["id"] = request_id
     return response

@@ -205,6 +205,27 @@ class TestProtocolDrift:
         })
         assert checks(report, "protocol-drift") == []
 
+    def test_flags_binary_frame_constant_drift(self, tmp_path):
+        # wire.py is a protocol file: a client re-defining a frame
+        # constant (instead of importing it) must be caught the moment
+        # the values disagree
+        report = run_snippets(tmp_path, {
+            "svc/wire.py": 'WIRE_MAGIC = b"RPRW"\nWIRE_VERSION = 1\nOP_QUERY = 3\n',
+            "svc/client.py": 'WIRE_MAGIC = b"RPRW"\nWIRE_VERSION = 2\nOP_QUERY = 4\n',
+        })
+        violations = checks(report, "protocol-drift")
+        names = {v.message.split()[2] for v in violations}
+        assert names == {"WIRE_VERSION", "OP_QUERY"}  # magic agrees
+        assert len(violations) == 4  # one per disagreeing site
+
+    def test_agreeing_frame_constants_pass(self, tmp_path):
+        report = run_snippets(tmp_path, {
+            "svc/wire.py": 'WIRE_MAGIC = b"RPRW"\nHEADER_BYTES = 12\n',
+            "svc/async_server.py": 'WIRE_MAGIC = b"RPRW"\n',
+            "svc/server.py": "MAX_BATCH_QUERIES = 4096\n",
+        })
+        assert checks(report, "protocol-drift") == []
+
 
 class TestEngine:
     def test_certifies_rules_with_no_findings(self, tmp_path):

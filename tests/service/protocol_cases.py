@@ -6,6 +6,14 @@ loop (`tests/service/test_server.py`) and the socket transport
 so a transport cannot drift from :func:`handle_request`'s semantics
 without both suites noticing.
 
+:data:`BINARY_ERROR_CASES` is the binary wire's analogue
+(`tests/service/test_wire.py`): raw byte sequences a client might send
+after its HELLO, each of which must come back as a clean in-band
+``OP_ERROR`` frame — truncation, an oversized length prefix, bad
+magic, an unknown opcode — with a ``survives`` flag saying whether
+framing is still trustworthy afterwards (the session stays open) or
+the server must close after answering.
+
 Every case assumes a server with **no default preset** and a
 ``max_queries`` admission limit of :data:`CASE_MAX_QUERIES`.
 """
@@ -13,6 +21,9 @@ Every case assumes a server with **no default preset** and a
 from __future__ import annotations
 
 import json
+import struct
+
+from repro.service import wire
 
 #: per-request batch limit both transports are configured with in tests
 CASE_MAX_QUERIES = 8
@@ -61,3 +72,102 @@ ERROR_CASES: list[tuple[str, str, str]] = [
 ]
 
 CASE_IDS = [case_id for case_id, _, _ in ERROR_CASES]
+
+
+def query_frame(*specs: tuple[int, int, float]) -> bytes:
+    """One well-formed OP_QUERY frame for ``(preset_id, d, m)`` triples."""
+    return wire.pack_frame(
+        wire.OP_QUERY,
+        wire.encode_query_records(wire.make_query_records(list(specs))),
+    )
+
+
+#: a binary request that must always succeed (preset index 0 exists on
+#: every test server) — chased after surviving error cases to prove the
+#: session is still usable
+VALID_FRAME = query_frame((0, 7, 40.0))
+
+#: ``(case_id, bytes sent after HELLO, expected error fragment,
+#: session survives)`` — ``survives=False`` rows lose framing, so the
+#: server must still answer in-band but then close the connection
+BINARY_ERROR_CASES: list[tuple[str, bytes, str, bool]] = [
+    (
+        "bad-magic",
+        struct.pack("<4sBBHI", b"XXXX", wire.WIRE_VERSION, wire.OP_QUERY, 0, 0),
+        "bad frame magic",
+        False,
+    ),
+    (
+        "oversized-length-prefix",
+        wire.HEADER.pack(
+            wire.WIRE_MAGIC, wire.WIRE_VERSION, wire.OP_QUERY, 0,
+            wire.MAX_FRAME_BYTES + 1,
+        ),
+        "exceeds the",
+        False,
+    ),
+    (
+        "truncated-header",
+        wire.WIRE_MAGIC + b"\x01",
+        "mid-frame",
+        False,
+    ),
+    (
+        "truncated-payload",
+        wire.HEADER.pack(
+            wire.WIRE_MAGIC, wire.WIRE_VERSION, wire.OP_QUERY, 0, 24
+        ) + b"\x00" * 6,
+        "mid-frame",
+        False,
+    ),
+    (
+        "unknown-opcode",
+        wire.pack_frame(0x7F, b""),
+        "unknown opcode",
+        True,
+    ),
+    (
+        "wrong-version-hello",
+        wire.pack_frame(wire.OP_HELLO, wire.hello_payload(), version=9),
+        "unsupported wire version",
+        True,
+    ),
+    (
+        "ragged-query-payload",
+        wire.pack_frame(wire.OP_QUERY, b"\x01\x02\x03"),
+        "whole number",
+        True,
+    ),
+    (
+        "oversized-batch",
+        query_frame(*[(0, 7, 1.0)] * (CASE_MAX_QUERIES + 1)),
+        f"exceeds the per-request limit of {CASE_MAX_QUERIES}",
+        True,
+    ),
+    (
+        "preset-index-out-of-range",
+        query_frame((99, 7, 40.0)),
+        "preset index 99 out of range",
+        True,
+    ),
+    (
+        "zero-d",
+        query_frame((0, 0, 1.0)),
+        "dimension",
+        True,
+    ),
+    (
+        "oversized-d",
+        query_frame((0, 25, 1.0)),
+        "dimension",
+        True,
+    ),
+    (
+        "non-finite-m",
+        query_frame((0, 7, float("nan"))),
+        "block size must be finite",
+        True,
+    ),
+]
+
+BINARY_CASE_IDS = [case_id for case_id, _, _, _ in BINARY_ERROR_CASES]
