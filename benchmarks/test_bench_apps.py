@@ -9,7 +9,10 @@ generate.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
+import pytest
 
 from repro.apps.adi import ADIProblem, run_adi
 from repro.apps.fft2d import distributed_fft2
@@ -67,3 +70,92 @@ def test_bench_adi(benchmark):
 
     out = benchmark(run_adi, u0, problem, 8, 2)
     assert np.sum(out ** 2) < np.sum(u0 ** 2)
+
+
+#: the fast-vs-event sweep: every compiled §9 pattern variant across
+#: the dimensions the apps plan over.  Sized so the event-engine side
+#: takes a second or two (the 64-node allgather/exchange dominates),
+#: not minutes.
+PATTERN_SWEEP = tuple(
+    (pattern, algorithm, d, m)
+    for pattern, algorithm in (
+        ("broadcast", "binomial"),
+        ("broadcast", "direct"),
+        ("scatter", "halving"),
+        ("scatter", "direct"),
+        ("allgather", "doubling"),
+        ("allgather", "exchange"),
+    )
+    for d in (4, 5, 6)
+    for m in (8, 40)
+)
+
+
+def run_event_patterns(ipsc) -> list[float]:
+    from repro.patterns import (
+        simulate_allgather,
+        simulate_broadcast,
+        simulate_scatter,
+    )
+
+    simulators = {
+        "broadcast": simulate_broadcast,
+        "scatter": simulate_scatter,
+        "allgather": simulate_allgather,
+    }
+    return [
+        simulators[pattern](d, m, ipsc, algorithm=algorithm)[0]
+        for pattern, algorithm, d, m in PATTERN_SWEEP
+    ]
+
+
+@pytest.mark.perf
+def test_bench_apps_fastpath(ipsc, archive, record_metrics):
+    """Pricing the apps' collective repertoire — every §9 pattern
+    program — must run >= 10x faster through the program compiler than
+    through the event engine, with every priced time exactly equal;
+    and the apps' own validation surface must do it with zero event
+    engine boots."""
+    from repro.analysis.validation import validate_policy
+    from repro.core.programs import pattern_program
+    from repro.plan import ModelPolicy
+    from repro.sim.fastpath import _compile_program, batch_program_times
+
+    # cold fast path: include program compilation costs
+    _compile_program.cache_clear()
+
+    t0 = time.perf_counter()
+    event_times = run_event_patterns(ipsc)
+    event_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    configs = [
+        (pattern_program(pattern, algorithm, d), m)
+        for pattern, algorithm, d, m in PATTERN_SWEEP
+    ]
+    fast_times = batch_program_times(configs, ipsc)
+    fast_s = time.perf_counter() - t0
+
+    for config, event_us, fast_us in zip(PATTERN_SWEEP, event_times, fast_times):
+        assert fast_us == event_us, config
+
+    # the apps' validation surface never boots the event engine
+    report = validate_policy(ModelPolicy(ipsc), params=ipsc)
+    assert report.engine_boots == 0, "fast path must never boot the event engine"
+
+    speedup = event_s / fast_s if fast_s else float("inf")
+    archive(
+        "bench_apps_fastpath.txt",
+        "\n".join(
+            [
+                f"pattern-program sweep: {len(PATTERN_SWEEP)} configurations "
+                f"(6 variants x d=4..6 x 2 block sizes), iPSC-860 constants",
+                f"  event engine (coroutines):  {event_s * 1e3:9.2f} ms",
+                f"  program compiler (1 pass):  {fast_s * 1e3:9.2f} ms",
+                f"  speedup: {speedup:.1f}x   (agreement: exact, all configs; "
+                f"validation surface: 0 engine boots)",
+            ]
+        ),
+    )
+    record_metrics("apps_fastpath", speedup=speedup)
+    assert speedup >= 10.0, f"apps fast-path speedup only {speedup:.1f}x"

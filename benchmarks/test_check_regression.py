@@ -144,6 +144,7 @@ class TestMain:
             "planner_cache",
             "async_serving",
             "fastpath",
+            "apps_fastpath",
             "wire_protocol",
         }
         for metrics in doc["benchmarks"].values():

@@ -20,6 +20,17 @@ pricing for the naive baseline, and cheap enough to validate at
 sweep scale.  Pass ``engine="event"`` to spot-check against the
 coroutine discrete-event engine (authoritative for data movement,
 faults, and FORCED semantics).
+
+Beyond the app-driven exchanges the report also covers the other two
+decision surfaces a planner owns: the §9 *pattern* selections
+(broadcast/scatter/allgather via
+:func:`~repro.plan.patterns.plan_pattern`, priced by the compiled
+program fast path) and *non-uniform traffic* partition choices
+(:class:`~repro.plan.policies.TrafficPolicy` over hotspot matrices).
+On ``engine="fast"`` every one of those rows is closed-form; the
+report's ``engine_boots`` counts how many times the event engine was
+booted while validating — **zero** on the default path, which the apps
+benchmark and tests assert.
 """
 
 from __future__ import annotations
@@ -31,11 +42,21 @@ import numpy as np
 
 from repro.comm.program import simulate_planned_exchange
 from repro.model.params import MachineParams, PRESETS
-from repro.plan import CollectivePlanner, FixedPolicy, PlanDecision, PlanningPolicy
+from repro.plan import (
+    CollectivePlanner,
+    FixedPolicy,
+    PlanDecision,
+    PlanningPolicy,
+    TrafficPolicy,
+    plan_pattern,
+)
 from repro.plan.decision import format_partition
+from repro.plan.patterns import PATTERNS
 
 __all__ = [
     "APP_WORKLOADS",
+    "DEFAULT_PATTERN_CONFIGS",
+    "DEFAULT_TRAFFIC_CONFIGS",
     "ENGINES",
     "PlanValidationReport",
     "ValidationRow",
@@ -122,6 +143,15 @@ class ValidationRow:
 #: the decision-replay engines ``validate_policy`` accepts
 ENGINES = ("fast", "event")
 
+#: default ``(d, m)`` grid for the §9 pattern validation rows
+DEFAULT_PATTERN_CONFIGS: tuple[tuple[int, float], ...] = ((3, 16.0), (4, 40.0))
+
+#: default ``(d, m, skew)`` grid for the non-uniform traffic rows
+DEFAULT_TRAFFIC_CONFIGS: tuple[tuple[int, float, float], ...] = (
+    (3, 16.0, 4.0),
+    (4, 40.0, 4.0),
+)
+
 
 @dataclass
 class PlanValidationReport:
@@ -134,8 +164,12 @@ class PlanValidationReport:
     rows: list[ValidationRow] = field(default_factory=list)
     verified_apps: list[str] = field(default_factory=list)
     #: plan records observed in the simulator traces of the replayed
-    #: decisions (one per row — the audit trail the trace keeps)
+    #: decisions (one per exchange-replay row — the audit trail the
+    #: trace keeps; pattern rows are priced closed-form, no trace)
     n_trace_decisions: int = 0
+    #: event-engine boots observed while validating (``Engine.boot_count``
+    #: delta) — 0 on ``engine="fast"``: the whole report is closed-form
+    engine_boots: int = 0
 
     @property
     def max_rel_error(self) -> float:
@@ -162,7 +196,8 @@ class PlanValidationReport:
         lines.append(
             f"  {len(self.rows)} decisions replayed on the simulator "
             f"({self.n_trace_decisions} plan records in traces); "
-            f"max rel. error {self.max_rel_error * 100:.3f}%"
+            f"max rel. error {self.max_rel_error * 100:.3f}%; "
+            f"event-engine boots: {self.engine_boots}"
         )
         return "\n".join(lines)
 
@@ -183,12 +218,63 @@ class _ReplayPolicy:
         return self.decision
 
 
+def _simulate_pattern_event(
+    pattern: str,
+    algorithm: str,
+    d: int,
+    m: float,
+    partition: tuple[int, ...] | None,
+    params: MachineParams,
+) -> float:
+    """Run one pattern selection on the event engine (spot-check mode)."""
+    if pattern == "broadcast":
+        from repro.patterns.broadcast import simulate_broadcast
+
+        return simulate_broadcast(d, int(m), params, algorithm=algorithm)[0]
+    if pattern == "scatter":
+        from repro.patterns.scatter import simulate_scatter
+
+        return simulate_scatter(d, int(m), params, algorithm=algorithm)[0]
+    if pattern == "allgather":
+        from repro.patterns.allgather import simulate_allgather
+
+        return simulate_allgather(
+            d, int(m), params, algorithm=algorithm, partition=partition
+        )[0]
+    raise ValueError(f"unknown pattern {pattern!r}")  # pragma: no cover
+
+
+def _append_row(
+    report: PlanValidationReport,
+    app: str,
+    d: int,
+    m: float,
+    algorithm: str,
+    partition: tuple[int, ...] | None,
+    predicted: float | None,
+    simulated: float,
+) -> None:
+    rel = (
+        abs(simulated - predicted) / predicted
+        if predicted is not None and predicted > 0
+        else None
+    )
+    report.rows.append(
+        ValidationRow(
+            app=app, d=d, m=m, algorithm=algorithm, partition=partition,
+            predicted_us=predicted, simulated_us=simulated, rel_error=rel,
+        )
+    )
+
+
 def validate_policy(
     policy: PlanningPolicy | None = None,
     *,
     params: MachineParams | None = None,
     apps: Sequence[str] | None = None,
     engine: str = "fast",
+    pattern_configs: Sequence[tuple[int, float]] | None = None,
+    traffic_configs: Sequence[tuple[int, float, float]] | None = None,
 ) -> PlanValidationReport:
     """Run the app workloads under ``policy`` and price every decision.
 
@@ -203,13 +289,46 @@ def validate_policy(
     float-identical to the event engine on contention-free schedules —
     while ``"event"`` replays each decision on the coroutine
     discrete-event machine (the spot-check mode).
+
+    ``pattern_configs`` is a ``(d, m)`` grid of §9 pattern selections
+    to validate (each expands to one row per pattern in
+    :data:`~repro.plan.patterns.PATTERNS`); ``traffic_configs`` a
+    ``(d, m, skew)`` grid of non-uniform traffic partition choices
+    (one :class:`~repro.plan.policies.TrafficPolicy` decision each,
+    replayed like an app decision).  Both default to small built-in
+    grids; pass ``()`` to validate apps only.  The report's
+    ``engine_boots`` records how many event engines were booted — 0 on
+    ``engine="fast"``.
     """
+    from repro.sim.engine import Engine
+
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     p = params if params is not None else PRESETS["ipsc860"]()
     pol = policy if policy is not None else FixedPolicy(params=p)
     names = list(apps) if apps is not None else list(APP_WORKLOADS)
+    patterns_grid = (
+        list(pattern_configs) if pattern_configs is not None
+        else list(DEFAULT_PATTERN_CONFIGS)
+    )
+    traffic_grid = (
+        list(traffic_configs) if traffic_configs is not None
+        else list(DEFAULT_TRAFFIC_CONFIGS)
+    )
     report = PlanValidationReport(policy=pol.name, params_name=p.name, engine=engine)
+    boots_before = Engine.boot_count
+
+    def replay_exchange(app: str, decision: PlanDecision) -> None:
+        result = simulate_planned_exchange(
+            decision.d, int(decision.m), CollectivePlanner(_ReplayPolicy(decision)), p,
+            fast=(engine == "fast"),
+        )
+        report.n_trace_decisions += len(result.trace.plan_decisions)
+        _append_row(
+            report, app, decision.d, decision.m, decision.algorithm,
+            decision.partition, decision.predicted_us, result.time_us,
+        )
+
     for name in names:
         try:
             workload = APP_WORKLOADS[name]
@@ -221,27 +340,31 @@ def validate_policy(
         workload(planner)
         report.verified_apps.append(name)
         for decision in planner.unique_decisions():
-            result = simulate_planned_exchange(
-                decision.d, int(decision.m), CollectivePlanner(_ReplayPolicy(decision)), p,
-                fast=(engine == "fast"),
-            )
-            report.n_trace_decisions += len(result.trace.plan_decisions)
-            predicted = decision.predicted_us
-            rel = (
-                abs(result.time_us - predicted) / predicted
-                if predicted is not None and predicted > 0
-                else None
-            )
-            report.rows.append(
-                ValidationRow(
-                    app=name,
-                    d=decision.d,
-                    m=decision.m,
-                    algorithm=decision.algorithm,
-                    partition=decision.partition,
-                    predicted_us=predicted,
-                    simulated_us=result.time_us,
-                    rel_error=rel,
+            replay_exchange(name, decision)
+    for d, m in patterns_grid:
+        for pattern in PATTERNS:
+            selection = plan_pattern(pattern, m, d, p)
+            if engine == "fast":
+                from repro.core.programs import pattern_program
+                from repro.sim.fastpath import program_time
+
+                simulated = program_time(
+                    pattern_program(
+                        pattern, selection.algorithm, d,
+                        partition=selection.partition,
+                    ),
+                    m, p,
                 )
+            else:
+                simulated = _simulate_pattern_event(
+                    pattern, selection.algorithm, d, m, selection.partition, p
+                )
+            _append_row(
+                report, f"pattern:{pattern}", d, float(m), selection.algorithm,
+                selection.partition, selection.predicted_us, simulated,
             )
+    for d, m, skew in traffic_grid:
+        decision = TrafficPolicy(p, skew=skew).decide(d, m)
+        replay_exchange(f"traffic:hot{skew:g}", decision)
+    report.engine_boots = Engine.boot_count - boots_before
     return report

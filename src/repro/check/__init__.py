@@ -34,6 +34,7 @@ from repro.check.schedule import (
     verify_fastpath_coefficients,
     verify_pattern,
     verify_plan_decision,
+    verify_program_coefficients,
     verify_schedule,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "verify_fastpath_coefficients",
     "verify_pattern",
     "verify_plan_decision",
+    "verify_program_coefficients",
     "verify_schedule",
 ]

@@ -367,6 +367,10 @@ RULES: tuple[LintRule, ...] = (
             "repro/sim/machine.py",
             "repro/sim/node.py",
             "repro/sim/network.py",
+            # boot-count audit only: validate_policy reads
+            # Engine.boot_count to prove the fast path booted zero
+            # event engines — it never constructs one itself
+            "repro/analysis/validation.py",
         ),
     ),
     LintRule(

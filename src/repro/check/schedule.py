@@ -21,8 +21,10 @@ program, and planner-emitted collective — without invoking
   duplicated steps as vacuous transfers, wrong offsets as misrouted
   blocks;
 * **coefficient fidelity** — the fast path's compiled per-step
-  coefficients (:class:`repro.sim.fastpath.CompiledSchedule`) must
-  structurally match the step stream they claim to price.
+  coefficients (:class:`repro.sim.fastpath.CompiledSchedule` for
+  exchange schedules, :class:`repro.sim.fastpath.CompiledProgram` for
+  the §9 pattern programs) must structurally match the step stream
+  they claim to price.
 
 Every function returns plain :class:`~repro.check.report.Violation`
 lists so callers can compose them into one
@@ -38,6 +40,14 @@ import numpy as np
 
 from repro.check.report import CheckReport, Violation
 from repro.core.partitions import partitions
+from repro.core.programs import (
+    BarrierStep,
+    LocalShuffleStep,
+    PairStep,
+    SendStep,
+    exchange_steps,
+    pattern_program,
+)
 from repro.core.schedule import (
     ExchangeStep,
     PhaseStart,
@@ -53,8 +63,11 @@ from repro.plan.decision import PlanDecision, format_partition
 from repro.sim.fastpath import (
     KIND_BARRIER,
     KIND_EXCHANGE,
+    KIND_SEND,
     KIND_SHUFFLE,
+    CompiledProgram,
     CompiledSchedule,
+    compile_program,
     compile_schedule,
     naive_step_circuits,
 )
@@ -71,6 +84,7 @@ __all__ = [
     "verify_fastpath_coefficients",
     "verify_pattern",
     "verify_plan_decision",
+    "verify_program_coefficients",
     "verify_schedule",
 ]
 
@@ -465,6 +479,94 @@ def verify_fastpath_coefficients(compiled: CompiledSchedule) -> list[Violation]:
     return violations
 
 
+def verify_program_coefficients(compiled: CompiledProgram) -> list[Violation]:
+    """Prove a compiled program's coefficients match its step stream.
+
+    The :class:`~repro.sim.fastpath.CompiledProgram` analogue of
+    :func:`verify_fastpath_coefficients`: recomputes, independently
+    from the program step dataclasses, the per-step kind code, byte
+    multiplier, and hop count :func:`repro.sim.fastpath.compile_program`
+    should have produced — ``coeff-mismatch`` violations otherwise —
+    and proves each step structurally legal (endpoints inside the cube,
+    no self-sends, pair shifts in range: ``program-structure``).
+    """
+    program = compiled.program
+    target = f"fastpath program {program.name} d={program.d}"
+    n = 1 << program.d
+    violations: list[Violation] = []
+    arrays = (compiled.kinds, compiled.bytes_per_m, compiled.hops)
+    if any(len(array) != len(program.steps) for array in arrays):
+        violations.append(Violation(
+            check="coeff-mismatch",
+            target=target,
+            message="coefficient arrays and program step stream disagree in length",
+            counterexample={"n_steps": len(program.steps),
+                            "array_lengths": [len(a) for a in arrays]},
+        ))
+        return violations
+    for index, step in enumerate(program.steps):
+        if isinstance(step, BarrierStep):
+            kind, nbytes, hops = KIND_BARRIER, 0, 0
+        elif isinstance(step, SendStep):
+            if (
+                not (0 <= step.src < n and 0 <= step.dst < n)
+                or step.src == step.dst
+            ):
+                violations.append(Violation(
+                    check="program-structure",
+                    target=target,
+                    message=f"step {index}: send {step.src}->{step.dst} is "
+                            f"not a legal circuit of the {program.d}-cube",
+                    step_index=index,
+                    counterexample={"src": step.src, "dst": step.dst, "n": n},
+                    fix_hint="send endpoints must be distinct cube nodes",
+                ))
+                continue
+            kind = KIND_SEND
+            nbytes = step.bytes_per_m
+            hops = popcount(step.src ^ step.dst)
+        elif isinstance(step, PairStep):
+            if not 1 <= step.shift < n:
+                violations.append(Violation(
+                    check="program-structure",
+                    target=target,
+                    message=f"step {index}: pair shift {step.shift} outside "
+                            f"1..{n - 1}",
+                    step_index=index,
+                    counterexample={"shift": step.shift, "n": n},
+                    fix_hint="a pairwise exchange must pair distinct cube nodes",
+                ))
+                continue
+            kind = KIND_EXCHANGE
+            nbytes = step.bytes_per_m
+            hops = popcount(step.shift)
+        elif isinstance(step, LocalShuffleStep):
+            kind, nbytes, hops = KIND_SHUFFLE, step.bytes_per_m, 0
+        else:
+            violations.append(Violation(
+                check="coeff-mismatch",
+                target=target,
+                message=f"unknown program step type {type(step).__name__}",
+                step_index=index,
+            ))
+            continue
+        got = (int(compiled.kinds[index]), int(compiled.bytes_per_m[index]),
+               int(compiled.hops[index]))
+        if got != (kind, nbytes, hops):
+            violations.append(Violation(
+                check="coeff-mismatch",
+                target=target,
+                message=f"step {index} ({type(step).__name__}) compiled to "
+                        f"kind/bytes/hops {got}, expected {(kind, nbytes, hops)}",
+                step_index=index,
+                counterexample={"compiled": list(got),
+                                "expected": [kind, nbytes, hops]},
+                fix_hint="the affine timing coefficients must mirror the "
+                         "program step stream term for term",
+            ))
+    return violations
+
+
 # ----------------------------------------------------------------------
 # whole-schedule certificates
 # ----------------------------------------------------------------------
@@ -490,13 +592,19 @@ def verify_schedule(d: int, partition: Sequence[int] | None = None) -> list[Viol
 
     ``partition=None`` selects the single-phase ``(d,)`` schedule.
     Covers circuit disjointness, route legality, block conservation,
-    and fast-path coefficient fidelity; an empty list is a certificate.
+    and fast-path coefficient fidelity — of both the compiled schedule
+    and its program-compiler lowering (the two fast paths must agree
+    with the step stream *and* each other); an empty list is a
+    certificate.
     """
     check_dimension(d, minimum=1)
     parts = check_partition(partition if partition is not None else (d,), d)
     steps = multiphase_schedule(d, parts)
     violations = verify_schedule_steps(steps, d, target=_schedule_target(d, parts))
     violations.extend(verify_fastpath_coefficients(compile_schedule(d, parts)))
+    violations.extend(
+        verify_program_coefficients(compile_program(exchange_steps(d, parts)))
+    )
     return violations
 
 
@@ -777,6 +885,11 @@ def check_schedules(
             certify_schedule(d, parts)
         for pattern, algorithm in pattern_variants():
             violations = verify_pattern(pattern, algorithm, d)
+            violations.extend(
+                verify_program_coefficients(
+                    compile_program(pattern_program(pattern, algorithm, d))
+                )
+            )
             for violation in violations:
                 report.add(violation)
             if not violations:

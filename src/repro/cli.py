@@ -234,7 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("m", type=float, help="block size in bytes")
     p_plan.add_argument(
         "--policy", default="model",
-        choices=("fixed", "model", "service", "contention"),
+        choices=("fixed", "model", "service", "contention", "traffic"),
         help="planning policy (default: model)",
     )
     p_plan.add_argument(
@@ -260,7 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     for p_sub in (p_apps, p_validate):
         p_sub.add_argument(
             "--policy", default="model",
-            choices=("fixed", "model", "service", "contention"),
+            choices=("fixed", "model", "service", "contention", "traffic"),
             help="planning policy (default: model)",
         )
         p_sub.add_argument(

@@ -16,6 +16,15 @@ Implementation notes mirroring paper §7:
   λ_eff/δ_eff of §7.4 (zero-byte synchronization included);
 * shuffles perform the actual numpy permutation *and* charge ρ per
   byte of the full buffer.
+
+The step streams these SPMD programs execute also exist declaratively:
+:func:`repro.core.programs.exchange_steps` /
+:func:`repro.core.programs.naive_rotation_steps` mirror
+``exchange_program`` / ``naive_program`` as
+:class:`~repro.core.programs.CommProgram` chains, which
+:func:`repro.sim.fastpath.compile_program` prices in one numpy pass at
+float equality with the runs here — the default path everywhere; the
+event-engine replay below is the byte-verifying oracle.
 """
 
 from __future__ import annotations

@@ -25,8 +25,23 @@ so skewed traffic wastes the synchronized partners' time — quantifying
 *why* the paper calls the general problem challenging — while uniform
 traffic recovers the complete-exchange cost exactly.
 
-:func:`best_partition_for_traffic` enumerates partitions against this
-model, extending §6's optimizer to arbitrary requirements.
+The routing and pricing kernels are *batched*: a stack of ``B``
+traffic matrices is routed through one partition's schedule in a
+single numpy pass (:func:`route_traffic_batch` /
+:func:`traffic_time_batch`), and :func:`traffic_time_grid` prices a
+``B × P`` grid of matrices × partitions the way
+:func:`repro.model.grid` prices the uniform cost surface.  The scalar
+:func:`route_traffic` / :func:`traffic_time` are the ``B = 1`` case of
+the same kernel, so scalar and batch results are bitwise identical by
+construction (within a step the shipped and received block sets of a
+node are disjoint, so the batched ``pending - moved + received``
+update touches each entry with at most one nonzero term — the same
+floats the per-holder loop produced).
+
+:func:`best_partition_for_traffic` evaluates the whole partition grid
+in one pass, extending §6's optimizer to arbitrary requirements;
+:func:`hotspot_traffic` builds the canonical skewed workload the
+planner's traffic policy optimizes for.
 """
 
 from __future__ import annotations
@@ -39,12 +54,16 @@ from repro.core.partitions import partitions
 from repro.core.schedule import ExchangeStep, PhaseStart, ShuffleStep, multiphase_schedule
 from repro.model.params import MachineParams
 from repro.util.bitops import log2_exact
-from repro.util.validation import check_partition
+from repro.util.validation import check_dimension, check_partition
 
 __all__ = [
     "best_partition_for_traffic",
+    "hotspot_traffic",
     "route_traffic",
+    "route_traffic_batch",
     "traffic_time",
+    "traffic_time_batch",
+    "traffic_time_grid",
     "uniform_traffic",
 ]
 
@@ -59,6 +78,21 @@ def uniform_traffic(d: int, m: float) -> np.ndarray:
     return np.full((n, n), float(m))
 
 
+def hotspot_traffic(d: int, m: float, skew: float = 4.0) -> np.ndarray:
+    """A deterministic non-uniform workload: uniform traffic with node 0
+    a hotspot — everything it sends and receives is ``(1 + skew)``
+    heavier.  ``skew = 0`` recovers :func:`uniform_traffic`.  This is
+    the canonical skewed matrix the planner's traffic policy prices
+    partitions against."""
+    check_dimension(d, minimum=1)
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    matrix = uniform_traffic(d, m)
+    matrix[0, :] *= 1.0 + skew
+    matrix[1:, 0] *= 1.0 + skew
+    return matrix
+
+
 def _validate(traffic: np.ndarray) -> tuple[np.ndarray, int]:
     matrix = np.asarray(traffic, dtype=np.float64)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
@@ -69,25 +103,42 @@ def _validate(traffic: np.ndarray) -> tuple[np.ndarray, int]:
     return matrix, d
 
 
-def route_traffic(
-    traffic: np.ndarray, partition: Sequence[int]
-) -> list[tuple[int, int, np.ndarray]]:
-    """Expand the phase structure into lockstep step loads.
+def _validate_batch(traffics: np.ndarray) -> tuple[np.ndarray, int]:
+    stack = np.asarray(traffics, dtype=np.float64)
+    if stack.ndim != 3 or stack.shape[1] != stack.shape[2]:
+        raise ValueError(
+            f"traffic batch must have shape (B, n, n), got {stack.shape}"
+        )
+    if (stack < 0).any():
+        raise ValueError("traffic entries must be non-negative")
+    d = log2_exact(stack.shape[1])
+    return stack, d
 
-    Returns one ``(phase_index, offset_shifted, loads)`` triple per
-    exchange step, where ``loads`` is an ``n``-vector of the bytes each
-    node ships at that step.  Between phases, pending traffic moves
-    exactly as the complete exchange moves blocks: after a phase every
-    remaining requirement agrees with its holder on the processed bits.
+
+def route_traffic_batch(
+    traffics: np.ndarray, partition: Sequence[int]
+) -> list[tuple[int, int, np.ndarray]]:
+    """Expand the phase structure into lockstep step loads, batched.
+
+    ``traffics`` is a ``(B, n, n)`` stack of traffic matrices routed
+    through one partition's schedule together.  Returns one
+    ``(phase_index, offset_shifted, loads)`` triple per exchange step,
+    where ``loads`` is a ``(B, n)`` array of the bytes each node ships
+    at that step.  Between phases, pending traffic moves exactly as the
+    complete exchange moves blocks: after a phase every remaining
+    requirement agrees with its holder on the processed bits.
 
     The function also serves as a routing proof: it asserts that after
-    the last phase every requirement has reached its destination.
+    the last phase every requirement has reached its destination (the
+    shipped and received entry sets of a node are disjoint within a
+    step, so cancellation is exact — no float residue).
     """
-    matrix, d = _validate(traffic)
+    stack, d = _validate_batch(traffics)
     parts = check_partition(partition, d)
     n = 1 << d
-    # pending[holder][dest] = bytes currently at holder bound for dest.
-    pending = matrix.copy()
+    nodes = np.arange(n)
+    # pending[b, holder, dest] = bytes currently at holder bound for dest
+    pending = stack.copy()
     steps_out: list[tuple[int, int, np.ndarray]] = []
     for step in multiphase_schedule(d, parts):
         if isinstance(step, (PhaseStart, ShuffleStep)):
@@ -95,27 +146,75 @@ def route_traffic(
         assert isinstance(step, ExchangeStep)
         group = step.group
         shift = step.offset << group.lo
-        dest_coords = (np.arange(n) >> group.lo) & ((1 << group.width) - 1)
-        loads = np.zeros(n)
-        moved: list[tuple[int, np.ndarray]] = []
-        for holder in range(n):
-            partner = holder ^ shift
-            partner_coord = (partner >> group.lo) & ((1 << group.width) - 1)
-            # blocks whose destination matches the partner's subcube
-            # coordinate; the holder's own coordinate differs, so its
-            # self-block never ships
-            row = pending[holder] * (dest_coords == partner_coord)
-            loads[holder] = row.sum()
-            moved.append((partner, row))
-        for holder, (partner, row) in enumerate(moved):
-            pending[holder] -= row
-            pending[partner] += row
+        dest_coords = (nodes >> group.lo) & ((1 << group.width) - 1)
+        partner = nodes ^ shift
+        # ship[holder, dest]: dest's group coordinate matches the
+        # holder's partner's — the holder's own coordinate differs, so
+        # its self-block never ships
+        ship = dest_coords[None, :] == dest_coords[partner][:, None]
+        moved = pending * ship[None, :, :]
+        loads = moved.sum(axis=-1)
+        pending = pending - moved + moved[:, partner, :]
         steps_out.append((step.phase_index, shift, loads))
     # routing proof: all traffic must now sit at its destination row
     off_diagonal = pending.copy()
-    np.fill_diagonal(off_diagonal, 0.0)
+    off_diagonal[:, nodes, nodes] = 0.0
     assert not off_diagonal.any(), "multiphase routing left traffic undelivered"
     return steps_out
+
+
+def route_traffic(
+    traffic: np.ndarray, partition: Sequence[int]
+) -> list[tuple[int, int, np.ndarray]]:
+    """Expand the phase structure into lockstep step loads.
+
+    The ``B = 1`` view of :func:`route_traffic_batch`: returns one
+    ``(phase_index, offset_shifted, loads)`` triple per exchange step
+    with ``loads`` an ``n``-vector of the bytes each node ships.
+    """
+    matrix, _ = _validate(traffic)
+    return [
+        (phase_index, shift, loads[0])
+        for phase_index, shift, loads in route_traffic_batch(
+            matrix[None, :, :], partition
+        )
+    ]
+
+
+def traffic_time_batch(
+    traffics: np.ndarray,
+    partition: Sequence[int],
+    params: MachineParams,
+) -> np.ndarray:
+    """Predicted multiphase times for a stack of traffic matrices.
+
+    Lockstep steps: each costs ``λ_eff + τ·max(load) + δ_eff·hops``;
+    shuffles charge ρ over each node's *peak held volume* per phase
+    (conservative); global sync per phase as usual.  Terms combine in
+    the same order as the scalar model always did, so
+    :func:`traffic_time` results are reproduced bitwise.
+    """
+    stack, d = _validate_batch(traffics)
+    parts = check_partition(partition, d)
+    steps = route_traffic_batch(stack, parts)
+    k = len(parts)
+    totals = np.zeros(stack.shape[0], dtype=np.float64)
+    for _, shift, loads in steps:
+        hops = bin(shift).count("1")
+        totals += (
+            params.exchange_latency
+            + params.byte_time * loads.max(axis=-1)
+            + params.exchange_hop_time * hops
+        )
+    totals += k * params.global_sync_time(d)
+    if k > 1:
+        # each phase ends with one fused permutation pass over the
+        # busiest node's buffer; the initial per-node peak is exact for
+        # uniform traffic (holdings never change size there) and a
+        # first-order estimate under skew
+        held_peaks = stack.sum(axis=-1).max(axis=-1)
+        totals += k * params.permute_time * held_peaks
+    return totals
 
 
 def traffic_time(
@@ -125,47 +224,47 @@ def traffic_time(
 ) -> float:
     """Predicted multiphase time for an arbitrary traffic matrix.
 
-    Lockstep steps: each costs ``λ_eff + τ·max(load) + δ_eff·hops``;
-    shuffles charge ρ over each node's *peak held volume* per phase
-    (conservative); global sync per phase as usual.  For uniform
+    The ``B = 1`` view of :func:`traffic_time_batch`.  For uniform
     traffic this reproduces :func:`repro.model.cost.multiphase_time`
     exactly (tested).
     """
-    matrix, d = _validate(traffic)
-    parts = check_partition(partition, d)
-    steps = route_traffic(matrix, parts)
-    k = len(parts)
-    total = 0.0
-    for _, shift, loads in steps:
-        hops = bin(shift).count("1")
-        total += (
-            params.exchange_latency
-            + params.byte_time * float(loads.max())
-            + params.exchange_hop_time * hops
-        )
-    total += k * params.global_sync_time(d)
-    if k > 1:
-        # each phase ends with one fused permutation pass over the
-        # busiest node's buffer; the initial per-node peak is exact for
-        # uniform traffic (holdings never change size there) and a
-        # first-order estimate under skew
-        held_peak = float(matrix.sum(axis=1).max())
-        total += k * params.permute_time * held_peak
-    return total
+    matrix, _ = _validate(traffic)
+    return float(traffic_time_batch(matrix[None, :, :], partition, params)[0])
+
+
+def traffic_time_grid(
+    traffics: np.ndarray,
+    parts: Sequence[Sequence[int]],
+    params: MachineParams,
+) -> np.ndarray:
+    """Price a ``B × P`` grid of traffic matrices × partitions.
+
+    One routed pass per partition covers the whole batch; column ``j``
+    equals ``traffic_time_batch(traffics, parts[j], params)``.
+    """
+    stack, _ = _validate_batch(traffics)
+    grid = np.empty((stack.shape[0], len(parts)), dtype=np.float64)
+    for j, partition in enumerate(parts):
+        grid[:, j] = traffic_time_batch(stack, partition, params)
+    return grid
 
 
 def best_partition_for_traffic(
     traffic: np.ndarray, params: MachineParams
 ) -> tuple[tuple[int, ...], float]:
-    """Enumerate partitions against the traffic model (§6 extended).
+    """Evaluate every partition against the traffic model (§6 extended).
 
-    Returns the best ``(partition, predicted_time)``.
+    One grid pass over :func:`repro.core.partitions.partitions`;
+    returns the best ``(partition, predicted_time)``.
+
+    Tie-breaking is deterministic: on equal predicted times the
+    *lowest-index* partition in enumeration order wins (``argmin``
+    takes the first minimum).  ``partitions(d)`` enumerates in
+    reverse-lexicographic order with ``(d,)`` first, so ties prefer
+    fewer, larger phases — independent of dict or insertion order.
     """
     matrix, d = _validate(traffic)
-    best: tuple[tuple[int, ...], float] | None = None
-    for partition in partitions(d):
-        t = traffic_time(matrix, partition, params)
-        if best is None or t < best[1] or (t == best[1] and partition < best[0]):
-            best = (partition, t)
-    assert best is not None
-    return best
+    parts = [tuple(partition) for partition in partitions(d)]
+    grid = traffic_time_grid(matrix[None, :, :], parts, params)[0]
+    index = int(np.argmin(grid))
+    return parts[index], float(grid[index])

@@ -8,8 +8,25 @@ subpackage implements the three patterns (data-level, cost model, and
 simulated programs), plus circuit-switched variants that exploit long
 circuits the way the paper's optimal exchange does, and verifies the
 upper-bound relationship.
+
+Every pattern algorithm also exists as a declarative
+:class:`~repro.core.programs.CommProgram` step stream (re-exported
+here: :func:`pattern_program` and the per-algorithm builders), which
+:func:`repro.sim.fastpath.compile_program` prices in one numpy pass at
+float equality with the SPMD simulations in this package — the planner
+scores candidates with that fast path and the event engine only runs
+as a spot-check.
 """
 
+from repro.core.programs import (
+    allgather_doubling_steps,
+    allgather_exchange_steps,
+    broadcast_binomial_steps,
+    broadcast_direct_steps,
+    pattern_program,
+    scatter_direct_steps,
+    scatter_halving_steps,
+)
 from repro.patterns.allgather import (
     allgather,
     allgather_exchange_time,
@@ -31,13 +48,20 @@ from repro.patterns.scatter import (
 
 __all__ = [
     "allgather",
+    "allgather_doubling_steps",
+    "allgather_exchange_steps",
     "allgather_exchange_time",
     "allgather_time",
     "broadcast",
+    "broadcast_binomial_steps",
+    "broadcast_direct_steps",
     "broadcast_direct_time",
     "broadcast_time",
+    "pattern_program",
     "scatter",
+    "scatter_direct_steps",
     "scatter_direct_time",
+    "scatter_halving_steps",
     "scatter_time",
     "simulate_allgather",
     "simulate_broadcast",

@@ -18,7 +18,11 @@ holds one pluggable policy:
 :class:`~repro.plan.policies.ContentionPolicy`
     the model policy plus a contention-aware price for the naive
     rotation baseline, from the fast-path reservation replay
-    (:mod:`repro.sim.fastpath`).
+    (:mod:`repro.sim.fastpath`);
+:class:`~repro.plan.policies.TrafficPolicy`
+    partition choice for non-uniform loads, priced on the batched
+    traffic grid (:mod:`repro.core.traffic`) with a simulator-backed
+    prediction from the compiled fast path.
 
 Every layer that performs a collective routes through the planner:
 ``Communicator.Alltoall`` and the simulated exchange programs, all
@@ -38,6 +42,7 @@ from repro.plan.policies import (
     ModelPolicy,
     PlanningPolicy,
     ServicePolicy,
+    TrafficPolicy,
     make_policy,
 )
 
@@ -53,6 +58,7 @@ __all__ = [
     "PlannerStats",
     "PlanningPolicy",
     "ServicePolicy",
+    "TrafficPolicy",
     "algorithm_name",
     "format_partition",
     "make_policy",

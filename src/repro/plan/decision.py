@@ -92,6 +92,11 @@ class PlanDecision:
         policy does, via the fast path's reservation replay).  The
         naive baseline has no *analytic* model, but it does have a
         simulator price.
+    traffic_us:
+        The skew-aware traffic-grid price that ranked the partitions,
+        when a traffic policy planned the decision.  Distinct from
+        ``predicted_us`` (the uniform execution price the simulator
+        measures when the decision replays).
     """
 
     d: int
@@ -103,6 +108,7 @@ class PlanDecision:
     source: str = "policy"
     ranking: tuple[tuple[tuple[int, ...], float], ...] | None = None
     naive_us: float | None = None
+    traffic_us: float | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:

@@ -5,9 +5,13 @@ algorithms: broadcast can run the binomial tree or direct root
 circuits, scatter recursive halving or direct circuits, allgather
 recursive doubling or a planner-partitioned complete exchange.
 :func:`plan_pattern` scores each pattern's candidates with the
-analytic model and picks the winner at ``(d, m)`` — the same
-optimizer-guided selection the exchange gets, applied across the
-patterns layer.
+*compiled fast path* (:func:`repro.sim.fastpath.program_time` over the
+:mod:`repro.core.programs` step streams) and picks the winner at
+``(d, m)`` — the same optimizer-guided selection the exchange gets,
+applied across the patterns layer.  Because compiled pricing is
+float-equal with the event engine, every ``predicted_us`` here is
+simulator-backed: validating a pattern decision against a simulation
+shows zero error by construction, and the event engine never boots.
 
 For allgather's exchange-based candidate the partition comes from the
 collective planner when one is supplied (closing the loop: the §6
@@ -18,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.model.cost import multiphase_time
 from repro.model.params import MachineParams
 from repro.plan.planner import CollectivePlanner
 from repro.util.validation import check_block_size, check_dimension
@@ -52,43 +55,50 @@ def pattern_candidates(
     *,
     planner: CollectivePlanner | None = None,
 ) -> list[tuple[str, float, tuple[int, ...] | None]]:
-    """Model every algorithm candidate for ``pattern`` at ``(d, m)``.
+    """Price every algorithm candidate for ``pattern`` at ``(d, m)``.
 
     Returns ``(name, predicted_us, partition)`` triples (partition is
-    ``None`` for algorithms that are not exchange-based).
+    ``None`` for algorithms that are not exchange-based).  Each time is
+    the compiled fast path's — float-equal with what the event engine
+    would measure for that algorithm's program.
     """
-    from repro.patterns.allgather import allgather_time
-    from repro.patterns.broadcast import broadcast_direct_time, broadcast_time
-    from repro.patterns.scatter import scatter_direct_time, scatter_time
+    from repro.core.programs import pattern_program
+    from repro.sim.fastpath import program_time
 
     check_dimension(d, minimum=1)
     m = check_block_size(m)
+
+    def price(algorithm: str, partition: tuple[int, ...] | None = None) -> float:
+        program = pattern_program(pattern, algorithm, d, partition=partition)
+        return program_time(program, m, params)
+
     if pattern == "broadcast":
         return [
-            ("binomial", broadcast_time(m, d, params), None),
-            ("direct", broadcast_direct_time(m, d, params), None),
+            ("binomial", price("binomial"), None),
+            ("direct", price("direct"), None),
         ]
     if pattern == "scatter":
         return [
-            ("halving", scatter_time(m, d, params), None),
-            ("direct", scatter_direct_time(m, d, params), None),
+            ("halving", price("halving"), None),
+            ("direct", price("direct"), None),
         ]
     if pattern == "allgather":
         if planner is not None:
             decision = planner.decide(d, m)
             if decision.partition is None:
-                # the planner chose the naive rotation schedule, which
-                # has no analytic model — an 'exchange' candidate here
+                # the planner chose the naive rotation schedule, whose
+                # contended cost is not what the lockstep exchange
+                # program would pay — an 'exchange' candidate here
                 # would be priced as an algorithm that would not run
-                return [("doubling", allgather_time(m, d, params), None)]
+                return [("doubling", price("doubling"), None)]
             partition = decision.partition
         else:
             from repro.model.optimizer import best_partition
 
             partition = best_partition(m, d, params).partition
         return [
-            ("doubling", allgather_time(m, d, params), None),
-            ("exchange", multiphase_time(m, d, partition, params), partition),
+            ("doubling", price("doubling"), None),
+            ("exchange", price("exchange", partition), partition),
         ]
     raise ValueError(f"unknown pattern {pattern!r}; expected one of {PATTERNS}")
 

@@ -21,6 +21,14 @@ A *policy* answers one question — "which algorithm should this
   prices the baseline the analytic model cannot, and the policy picks
   naive on the (pathological) machines where it actually wins.
 
+* :class:`TrafficPolicy` plans for *non-uniform* loads: it prices
+  every partition against a skewed traffic matrix with the batched
+  §9 traffic-grid kernel
+  (:func:`repro.core.traffic.best_partition_for_traffic`) and carries
+  a simulator-backed ``predicted_us`` from the compiled fast path, so
+  a traffic-planned decision validates with zero error like every
+  other fast-path decision.
+
 ``ModelPolicy`` and ``ServicePolicy`` agree bitwise on the chosen
 partition and predicted time away from table switch points (asserted
 across presets and dimensions by the property tests).
@@ -42,6 +50,7 @@ __all__ = [
     "ModelPolicy",
     "PlanningPolicy",
     "ServicePolicy",
+    "TrafficPolicy",
     "make_policy",
 ]
 
@@ -182,6 +191,51 @@ class ContentionPolicy:
         return replace(planned, policy=self.name, naive_us=naive_us)
 
 
+class TrafficPolicy:
+    """Partition choice for non-uniform traffic, priced on the grid.
+
+    Builds the canonical hotspot matrix for ``(d, m)``
+    (:func:`repro.core.traffic.hotspot_traffic` at the configured
+    ``skew``), evaluates every partition in one batched grid pass, and
+    plans the winner.  Ties break deterministically on the lowest-index
+    partition (see :func:`repro.core.traffic.best_partition_for_traffic`).
+
+    ``predicted_us`` is the *compiled fast path's* price of the chosen
+    schedule under uniform execution
+    (:func:`repro.sim.fastpath.exchange_time`) — the number the event
+    engine would measure when the decision replays, so validation rows
+    agree exactly on both engines; the skew-aware grid price that
+    ranked the partitions is carried as ``traffic_us``.
+
+    >>> from repro.model.params import ipsc860
+    >>> decision = TrafficPolicy(ipsc860(), skew=4.0).decide(5, 40.0)
+    >>> decision.partition is not None
+    True
+    """
+
+    def __init__(self, params: MachineParams, *, skew: float = 4.0) -> None:
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        self.params = params
+        self.skew = float(skew)
+        self.name = f"traffic:hot{skew:g}"
+
+    def decide(self, d: int, m: float) -> PlanDecision:
+        from repro.core.traffic import best_partition_for_traffic, hotspot_traffic
+        from repro.sim.fastpath import exchange_time
+
+        check_dimension(d, minimum=1)
+        m = check_block_size(m)
+        matrix = hotspot_traffic(d, m, self.skew)
+        partition, traffic_us = best_partition_for_traffic(matrix, self.params)
+        predicted = exchange_time(d, m, partition, self.params)
+        return PlanDecision(
+            d=d, m=m, algorithm=algorithm_name(partition), partition=partition,
+            predicted_us=predicted, policy=self.name, source="fastpath",
+            traffic_us=traffic_us,
+        )
+
+
 class ServicePolicy:
     """Answer from an in-process optimizer query service.
 
@@ -225,10 +279,11 @@ def make_policy(
 ) -> PlanningPolicy:
     """Build one of the named policies (CLI/bench convenience).
 
-    ``name`` is ``"fixed"``, ``"model"``, ``"service"``, or
-    ``"contention"``; the fixed policy honours ``partition``/``naive``,
-    the service policy uses ``registry`` (a fresh in-process one when
-    omitted) under ``preset``.
+    ``name`` is ``"fixed"``, ``"model"``, ``"service"``,
+    ``"contention"``, or ``"traffic"``; the fixed policy honours
+    ``partition``/``naive``, the service policy uses ``registry`` (a
+    fresh in-process one when omitted) under ``preset``, the traffic
+    policy plans for the default hotspot skew.
     """
     if name == "fixed":
         return FixedPolicy(partition, naive=naive, params=params)
@@ -238,7 +293,9 @@ def make_policy(
         return ServicePolicy(registry, preset=preset)
     if name == "contention":
         return ContentionPolicy(params)
+    if name == "traffic":
+        return TrafficPolicy(params)
     raise ValueError(
         f"unknown policy {name!r}; expected 'fixed', 'model', 'service', "
-        f"or 'contention'"
+        f"'contention', or 'traffic'"
     )

@@ -9,12 +9,16 @@ calibrated by :class:`repro.model.params.MachineParams`.
 
 from repro.sim.engine import Delay, Engine, Process, Request, SimulationError
 from repro.sim.fastpath import (
+    CompiledProgram,
     CompiledSchedule,
     NaiveContentionSummary,
     NaiveSend,
     NaiveTimeline,
+    ProgramTimeline,
     ScheduleTimeline,
     batch_exchange_times,
+    batch_program_times,
+    compile_program,
     compile_schedule,
     exchange_time,
     exchange_timeline,
@@ -23,6 +27,9 @@ from repro.sim.fastpath import (
     naive_exchange_time,
     naive_step_circuits,
     naive_timeline,
+    program_time,
+    program_timeline,
+    program_times,
 )
 from repro.sim.machine import RunResult, SimulatedHypercube
 from repro.sim.network import Grant, Network
@@ -31,6 +38,7 @@ from repro.sim.trace import BarrierRecord, ShuffleRecord, Trace, TransmissionRec
 
 __all__ = [
     "BarrierRecord",
+    "CompiledProgram",
     "CompiledSchedule",
     "Delay",
     "Engine",
@@ -41,6 +49,7 @@ __all__ = [
     "Network",
     "NodeContext",
     "Process",
+    "ProgramTimeline",
     "Request",
     "RunResult",
     "ScheduleTimeline",
@@ -50,6 +59,8 @@ __all__ = [
     "Trace",
     "TransmissionRecord",
     "batch_exchange_times",
+    "batch_program_times",
+    "compile_program",
     "compile_schedule",
     "exchange_time",
     "exchange_timeline",
@@ -58,4 +69,7 @@ __all__ = [
     "naive_exchange_time",
     "naive_step_circuits",
     "naive_timeline",
+    "program_time",
+    "program_timeline",
+    "program_times",
 ]

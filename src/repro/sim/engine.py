@@ -175,7 +175,13 @@ class Process:
 class Engine:
     """The event loop: a heap of ``(time, seq, callback)`` entries."""
 
+    #: process-wide count of engines ever booted.  The fast path exists
+    #: to keep this flat: `validate_policy(engine="fast")` and the apps
+    #: benchmark assert a zero delta across their default paths.
+    boot_count: int = 0
+
     def __init__(self) -> None:
+        Engine.boot_count += 1
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0

@@ -21,6 +21,19 @@ vectorized with numpy over steps × block sizes:
 * :func:`batch_exchange_times` — one array pass per distinct
   ``(d, partition)`` group over a whole batch of ``(d, m, partition)``
   configurations (the validation-sweep workhorse).
+* :func:`compile_program` / :func:`program_time` /
+  :func:`program_times` / :func:`program_timeline` /
+  :func:`batch_program_times` — the same lowering generalized to *any*
+  :class:`repro.core.programs.CommProgram` step stream: the exchange,
+  the §9 pattern programs (broadcast binomial/direct, scatter
+  halving/direct, allgather doubling/exchange), and any future
+  barrier/send/pair/shuffle chain.  One-way ``SendStep`` rows price
+  with the plain constants (``λ + τ·nbytes + δ·h``), pairwise
+  ``PairStep`` rows with the §7.4 effective constants, exactly as
+  :class:`repro.sim.node.Node` combines them — float equality with the
+  event engine holds for every compiled program.  Contended programs
+  (the naive rotation) are refused by the compiler;
+  :func:`batch_program_times` routes them to the reservation replay.
 * :func:`naive_exchange_time` / :func:`naive_timeline` — the
   *contended* naive rotation baseline, priced by replaying the event
   engine's greedy link/port reservation discipline over the send
@@ -52,6 +65,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.programs import (
+    BarrierStep,
+    CommProgram,
+    LocalShuffleStep,
+    PairStep,
+    SendStep,
+)
 from repro.core.schedule import (
     ExchangeStep,
     PhaseStart,
@@ -70,12 +90,16 @@ from repro.util.bitops import popcount
 from repro.util.validation import check_dimension, check_partition
 
 __all__ = [
+    "CompiledProgram",
     "CompiledSchedule",
     "NaiveContentionSummary",
     "NaiveSend",
     "NaiveTimeline",
+    "ProgramTimeline",
     "ScheduleTimeline",
     "batch_exchange_times",
+    "batch_program_times",
+    "compile_program",
     "compile_schedule",
     "exchange_time",
     "exchange_timeline",
@@ -84,10 +108,60 @@ __all__ = [
     "naive_exchange_time",
     "naive_step_circuits",
     "naive_timeline",
+    "program_time",
+    "program_timeline",
+    "program_times",
 ]
 
-#: step-kind codes of a compiled schedule
-KIND_BARRIER, KIND_EXCHANGE, KIND_SHUFFLE = 0, 1, 2
+#: step-kind codes of a compiled schedule / program
+KIND_BARRIER, KIND_EXCHANGE, KIND_SHUFFLE, KIND_SEND = 0, 1, 2, 3
+
+
+def _step_durations(
+    d: int,
+    kinds: np.ndarray,
+    bytes_per_m: np.ndarray,
+    hops: np.ndarray,
+    ms: Sequence[float],
+    params: MachineParams,
+) -> np.ndarray:
+    """Per-step durations for each block size: shape ``(S, M)``.
+
+    The shared lowering kernel behind :class:`CompiledSchedule` and
+    :class:`CompiledProgram`.  Arithmetic mirrors the event engine term
+    for term and in the same order (latency + ``τ·nbytes`` first, hop
+    term added last), so integral block sizes reproduce its float
+    results exactly.  Pairwise rows use the §7.4 effective constants
+    (``λ_x``, ``δ_x``); one-way FORCED rows the plain ones (``λ``,
+    ``δ``); barriers cost ``γ·d``; shuffles ``ρ`` per byte.
+    """
+    ms_arr = np.asarray(ms, dtype=np.float64)
+    if ms_arr.ndim != 1:
+        raise ValueError(f"ms must be one-dimensional, got shape {ms_arr.shape}")
+    if ms_arr.size and float(ms_arr.min()) < 0:
+        raise ValueError("block sizes must be >= 0")
+    out = np.zeros((len(kinds), ms_arr.size), dtype=np.float64)
+    barrier = kinds == KIND_BARRIER
+    out[barrier, :] = params.global_sync_time(d)
+    exchange = kinds == KIND_EXCHANGE
+    if exchange.any():
+        nbytes = bytes_per_m[exchange][:, None] * ms_arr[None, :]
+        hop_terms = params.exchange_hop_time * hops[exchange].astype(np.float64)
+        out[exchange, :] = (
+            params.exchange_latency + params.byte_time * nbytes + hop_terms[:, None]
+        )
+    send = kinds == KIND_SEND
+    if send.any():
+        nbytes = bytes_per_m[send][:, None] * ms_arr[None, :]
+        hop_terms = params.hop_time * hops[send].astype(np.float64)
+        out[send, :] = (
+            params.latency + params.byte_time * nbytes + hop_terms[:, None]
+        )
+    shuffle = kinds == KIND_SHUFFLE
+    if shuffle.any():
+        full_buffer = bytes_per_m[shuffle][:, None] * ms_arr[None, :]
+        out[shuffle, :] = params.permute_time * full_buffer
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -129,25 +203,9 @@ class CompiledSchedule:
         same order (``λ_x + τ·nbytes`` first, hop term added last), so
         integral block sizes reproduce its float results exactly.
         """
-        ms_arr = np.asarray(ms, dtype=np.float64)
-        if ms_arr.ndim != 1:
-            raise ValueError(f"ms must be one-dimensional, got shape {ms_arr.shape}")
-        if ms_arr.size and float(ms_arr.min()) < 0:
-            raise ValueError("block sizes must be >= 0")
-        out = np.zeros((self.n_steps, ms_arr.size), dtype=np.float64)
-        barrier = self.kinds == KIND_BARRIER
-        out[barrier, :] = params.global_sync_time(self.d)
-        exchange = self.kinds == KIND_EXCHANGE
-        nbytes = self.bytes_per_m[exchange][:, None] * ms_arr[None, :]
-        hop_terms = params.exchange_hop_time * self.hops[exchange].astype(np.float64)
-        out[exchange, :] = (
-            params.exchange_latency + params.byte_time * nbytes + hop_terms[:, None]
+        return _step_durations(
+            self.d, self.kinds, self.bytes_per_m, self.hops, ms, params
         )
-        shuffle = self.kinds == KIND_SHUFFLE
-        if shuffle.any():
-            full_buffer = self.bytes_per_m[shuffle][:, None] * ms_arr[None, :]
-            out[shuffle, :] = params.permute_time * full_buffer
-        return out
 
     def totals(self, ms: Sequence[float], params: MachineParams) -> np.ndarray:
         """Total exchange time per block size (``cumsum`` accumulation,
@@ -290,6 +348,210 @@ def batch_exchange_times(
     for (d, parts), indices in groups.items():
         ms = [configs[i][1] for i in indices]
         out[indices] = compile_schedule(d, parts).totals(ms, params)
+    return out
+
+
+# ----------------------------------------------------------------------
+# the general program compiler: any CommProgram, one numpy pass
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A :class:`~repro.core.programs.CommProgram` reduced to timing
+    coefficients.
+
+    The same affine-in-``m`` lowering as :class:`CompiledSchedule`,
+    extended with one-way ``KIND_SEND`` rows (``λ + τ·nbytes + δ·h``,
+    the plain constants — FORCED one-way traffic pays no pairwise
+    handshake).  ``totals`` accumulates the rows with ``cumsum`` in
+    program order, which is the event engine's dispatch order along the
+    program's critical-path chain, so the result equals the engine's
+    makespan to float equality.
+    """
+
+    program: CommProgram
+    kinds: np.ndarray
+    bytes_per_m: np.ndarray
+    hops: np.ndarray
+
+    @property
+    def d(self) -> int:
+        return self.program.d
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.program.steps)
+
+    def durations(self, ms: Sequence[float], params: MachineParams) -> np.ndarray:
+        """Per-step durations for each block size: shape ``(S, M)``."""
+        return _step_durations(
+            self.d, self.kinds, self.bytes_per_m, self.hops, ms, params
+        )
+
+    def totals(self, ms: Sequence[float], params: MachineParams) -> np.ndarray:
+        """Total program time per block size (engine-order ``cumsum``)."""
+        durations = self.durations(ms, params)
+        if durations.shape[0] == 0:
+            return np.zeros(durations.shape[1], dtype=np.float64)
+        return durations.cumsum(axis=0)[-1]
+
+    def timeline(self, m: float, params: MachineParams) -> "ProgramTimeline":
+        """Per-step start/finish times along the critical-path chain."""
+        durations = self.durations([m], params)[:, 0]
+        finish = durations.cumsum()
+        start = np.concatenate(([0.0], finish[:-1]))
+        return ProgramTimeline(
+            program=self.program, m=float(m), start=start, finish=finish
+        )
+
+
+@dataclass(frozen=True)
+class ProgramTimeline:
+    """Start/finish instants along a program's critical-path chain.
+
+    For lockstep programs these describe every node; for rooted trees
+    (broadcast/scatter) they describe the root's chain, whose last
+    finish is still the run's exact makespan (forwarding chains end at
+    the same float — see :mod:`repro.core.programs`).
+    """
+
+    program: CommProgram
+    m: float
+    start: np.ndarray
+    finish: np.ndarray
+
+    @property
+    def total(self) -> float:
+        """The makespan (equals the event engine's simulated time)."""
+        return float(self.finish[-1]) if len(self.finish) else 0.0
+
+
+@lru_cache(maxsize=512)
+def _compile_program(program: CommProgram) -> CompiledProgram:
+    n = 1 << program.d
+    kinds = np.empty(program.n_steps, dtype=np.int8)
+    bytes_per_m = np.zeros(program.n_steps, dtype=np.int64)
+    hops = np.zeros(program.n_steps, dtype=np.int64)
+    for i, step in enumerate(program.steps):
+        if isinstance(step, BarrierStep):
+            kinds[i] = KIND_BARRIER
+        elif isinstance(step, SendStep):
+            if not (0 <= step.src < n and 0 <= step.dst < n):
+                raise ValueError(
+                    f"step {i}: endpoints ({step.src}, {step.dst}) outside "
+                    f"the {program.d}-cube"
+                )
+            if step.src == step.dst:
+                raise ValueError(f"step {i}: send from node {step.src} to itself")
+            if step.bytes_per_m < 0:
+                raise ValueError(f"step {i}: negative byte multiplier")
+            kinds[i] = KIND_SEND
+            bytes_per_m[i] = step.bytes_per_m
+            hops[i] = step.hops
+        elif isinstance(step, PairStep):
+            if not 1 <= step.shift < n:
+                raise ValueError(
+                    f"step {i}: pair shift {step.shift} outside 1..{n - 1}"
+                )
+            if step.bytes_per_m < 0:
+                raise ValueError(f"step {i}: negative byte multiplier")
+            kinds[i] = KIND_EXCHANGE
+            bytes_per_m[i] = step.bytes_per_m
+            hops[i] = step.hops
+        elif isinstance(step, LocalShuffleStep):
+            if step.bytes_per_m < 0:
+                raise ValueError(f"step {i}: negative byte multiplier")
+            kinds[i] = KIND_SHUFFLE
+            bytes_per_m[i] = step.bytes_per_m
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown program step {type(step).__name__}")
+    kinds.setflags(write=False)
+    bytes_per_m.setflags(write=False)
+    hops.setflags(write=False)
+    return CompiledProgram(
+        program=program, kinds=kinds, bytes_per_m=bytes_per_m, hops=hops
+    )
+
+
+def compile_program(program: CommProgram) -> CompiledProgram:
+    """Compile (and memoize) the timing coefficients of a program.
+
+    Accepts any contention-free :class:`~repro.core.programs.CommProgram`
+    — the exchange, every §9 pattern program, or a hand-built chain —
+    after validating each step structurally (endpoints inside the cube,
+    no self-sends, shifts in range).  Contended programs (the naive
+    rotation) have no lockstep closed form and are refused; price them
+    with :func:`naive_exchange_time` / :func:`batch_program_times`.
+
+    >>> from repro.core.programs import broadcast_binomial_steps
+    >>> compile_program(broadcast_binomial_steps(3)).n_steps
+    4
+    """
+    if program.contended:
+        raise ValueError(
+            f"program {program.name!r} is contended: its cost is link/port "
+            f"serialization, not a lockstep chain; use batch_program_times "
+            f"(or naive_exchange_time) instead"
+        )
+    check_dimension(program.d, minimum=1)
+    return _compile_program(program)
+
+
+def program_times(
+    program: CommProgram, ms: Sequence[float], params: MachineParams
+) -> np.ndarray:
+    """Program times for a batch of block sizes, one numpy pass."""
+    return compile_program(program).totals(ms, params)
+
+
+def program_time(program: CommProgram, m: float, params: MachineParams) -> float:
+    """Total time of one contention-free program, closed form.
+
+    Equals the event engine's measured virtual time exactly:
+
+    >>> from repro.core.programs import pattern_program
+    >>> from repro.model.params import ipsc860
+    >>> from repro.patterns import simulate_broadcast
+    >>> fast = program_time(pattern_program("broadcast", "binomial", 4), 24, ipsc860())
+    >>> fast == simulate_broadcast(4, 24, ipsc860(), algorithm="binomial")[0]
+    True
+    """
+    return float(program_times(program, [m], params)[0])
+
+
+def program_timeline(
+    program: CommProgram, m: float, params: MachineParams
+) -> ProgramTimeline:
+    """Per-step start/finish timeline along the critical-path chain."""
+    return compile_program(program).timeline(m, params)
+
+
+def batch_program_times(
+    configs: Sequence[tuple[CommProgram, float]],
+    params: MachineParams,
+) -> np.ndarray:
+    """Program times for a heterogeneous batch of ``(program, m)`` pairs.
+
+    Configurations sharing a program are evaluated in one vectorized
+    pass over their block sizes; the result is aligned with
+    ``configs``.  Contended programs named ``"naive"`` fall back to the
+    reservation replay (:func:`naive_exchange_time`); any other
+    contended program is refused — there is nothing exact to price it
+    with.
+    """
+    out = np.empty(len(configs), dtype=np.float64)
+    groups: dict[CommProgram, list[int]] = {}
+    for index, (program, m) in enumerate(configs):
+        if program.contended:
+            if program.name != "naive":
+                raise ValueError(
+                    f"no contention model for contended program {program.name!r}"
+                )
+            out[index] = naive_exchange_time(program.d, m, params)
+            continue
+        groups.setdefault(program, []).append(index)
+    for program, indices in groups.items():
+        ms = [configs[i][1] for i in indices]
+        out[indices] = compile_program(program).totals(ms, params)
     return out
 
 

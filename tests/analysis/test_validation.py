@@ -4,8 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.validation import APP_WORKLOADS, validate_policy
+from repro.analysis.validation import (
+    APP_WORKLOADS,
+    DEFAULT_PATTERN_CONFIGS,
+    DEFAULT_TRAFFIC_CONFIGS,
+    validate_policy,
+)
 from repro.plan import FixedPolicy, ModelPolicy, ServicePolicy
+from repro.plan.patterns import PATTERNS
 
 
 class TestValidatePolicy:
@@ -34,13 +40,19 @@ class TestValidatePolicy:
 
     def test_decisions_recorded_in_simulator_traces(self, ipsc):
         report = validate_policy(ModelPolicy(ipsc), params=ipsc)
-        assert report.n_trace_decisions == len(report.rows)
+        # every exchange replay leaves one plan record in its trace;
+        # pattern rows are priced closed-form and leave none
+        replayed = [r for r in report.rows if not r.app.startswith("pattern:")]
+        assert report.n_trace_decisions == len(replayed)
+        assert report.n_trace_decisions < len(report.rows)
 
     def test_naive_policy_rows_have_no_prediction(self, ipsc):
         report = validate_policy(
-            FixedPolicy(naive=True), params=ipsc, apps=["transpose"]
+            FixedPolicy(naive=True), params=ipsc, apps=["transpose"],
+            pattern_configs=(), traffic_configs=(),
         )
         assert report.verified_apps == ["transpose"]
+        assert report.rows
         for row in report.rows:
             assert row.algorithm == "naive"
             assert row.predicted_us is None and row.rel_error is None
@@ -62,6 +74,57 @@ class TestValidatePolicy:
         assert "max rel. error" in text
         assert "plan records in traces" in text
         assert "[fast engine]" in text
+        assert "event-engine boots: 0" in text
+
+
+class TestPatternAndTrafficRows:
+    """The report covers the other two planner decision surfaces: §9
+    pattern selections and non-uniform traffic partition choices."""
+
+    def test_pattern_rows_present_by_default(self, ipsc):
+        report = validate_policy(ModelPolicy(ipsc), params=ipsc)
+        pattern_rows = [r for r in report.rows if r.app.startswith("pattern:")]
+        assert len(pattern_rows) == len(DEFAULT_PATTERN_CONFIGS) * len(PATTERNS)
+        for row in pattern_rows:
+            assert row.rel_error == 0.0, row
+            assert row.predicted_us == row.simulated_us
+
+    def test_traffic_rows_present_by_default(self, ipsc):
+        report = validate_policy(ModelPolicy(ipsc), params=ipsc)
+        traffic_rows = [r for r in report.rows if r.app.startswith("traffic:")]
+        assert len(traffic_rows) == len(DEFAULT_TRAFFIC_CONFIGS)
+        for row in traffic_rows:
+            assert row.partition is not None
+            assert row.rel_error == 0.0, row
+
+    def test_configs_can_be_disabled(self, ipsc):
+        report = validate_policy(
+            ModelPolicy(ipsc), params=ipsc,
+            pattern_configs=(), traffic_configs=(),
+        )
+        assert all(
+            not r.app.startswith(("pattern:", "traffic:")) for r in report.rows
+        )
+        assert report.n_trace_decisions == len(report.rows)
+
+    def test_custom_pattern_grid(self, ipsc):
+        report = validate_policy(
+            ModelPolicy(ipsc), params=ipsc, apps=[],
+            pattern_configs=[(5, 24.0)], traffic_configs=(),
+        )
+        assert len(report.rows) == len(PATTERNS)
+        assert {r.d for r in report.rows} == {5}
+
+    def test_fast_path_boots_zero_event_engines(self, ipsc):
+        report = validate_policy(ModelPolicy(ipsc), params=ipsc)
+        assert report.engine == "fast"
+        assert report.engine_boots == 0
+
+    def test_event_engine_boots_are_counted(self, ipsc):
+        report = validate_policy(
+            ModelPolicy(ipsc), params=ipsc, apps=["transpose"], engine="event"
+        )
+        assert report.engine_boots >= len(report.rows)
 
 
 class TestReplayEngines:
@@ -74,7 +137,8 @@ class TestReplayEngines:
 
     def test_fast_rows_equal_event_rows(self, ipsc):
         """Same decisions, float-identical simulated times (the
-        contention-free agreement guarantee end to end)."""
+        contention-free agreement guarantee end to end) — including the
+        pattern and traffic rows."""
         fast = validate_policy(ModelPolicy(ipsc), params=ipsc)
         event = validate_policy(ModelPolicy(ipsc), params=ipsc, engine="event")
         assert [r.simulated_us for r in fast.rows] == [
@@ -85,6 +149,7 @@ class TestReplayEngines:
         ]
         assert event.engine == "event"
         assert "[event engine]" in event.render()
+        assert event.engine_boots > 0
 
     def test_naive_rows_agree_across_engines(self, ipsc):
         """The contended baseline replays identically: the fast path's
@@ -100,7 +165,10 @@ class TestReplayEngines:
         ]
 
     def test_trace_decisions_counted_in_fast_mode(self, ipsc):
-        report = validate_policy(ModelPolicy(ipsc), params=ipsc, apps=["fft2d"])
+        report = validate_policy(
+            ModelPolicy(ipsc), params=ipsc, apps=["fft2d"],
+            pattern_configs=(), traffic_configs=(),
+        )
         assert report.n_trace_decisions == len(report.rows)
 
     def test_unknown_engine_rejected(self, ipsc):

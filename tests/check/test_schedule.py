@@ -18,13 +18,15 @@ from repro.check import (
     verify_fastpath_coefficients,
     verify_pattern,
     verify_plan_decision,
+    verify_program_coefficients,
     verify_schedule,
 )
 from repro.check.schedule import check_schedules, pattern_variants
 from repro.core.partitions import partitions
+from repro.core.programs import SendStep, exchange_steps, pattern_program
 from repro.core.schedule import ExchangeStep, multiphase_schedule
 from repro.plan.decision import PlanDecision
-from repro.sim.fastpath import compile_schedule
+from repro.sim.fastpath import compile_program, compile_schedule
 from repro.util.bitops import bit_reverse
 
 
@@ -165,6 +167,63 @@ class TestFastpathCoefficients:
             compiled, steps=tuple(multiphase_schedule(4, (1, 3)))
         )
         violations = verify_fastpath_coefficients(forged)
+        assert any(v.check == "coeff-mismatch" for v in violations)
+
+
+class TestProgramCoefficients:
+    @pytest.mark.parametrize("pattern,algorithm", pattern_variants())
+    @pytest.mark.parametrize("d", [1, 3, 5])
+    def test_compiled_pattern_programs_certify(self, pattern, algorithm, d):
+        compiled = compile_program(pattern_program(pattern, algorithm, d))
+        assert verify_program_coefficients(compiled) == []
+
+    @pytest.mark.parametrize("parts", [None, (2, 2), (1, 1, 1, 1)])
+    def test_compiled_exchange_program_certifies(self, parts):
+        compiled = compile_program(exchange_steps(4, parts))
+        assert verify_program_coefficients(compiled) == []
+
+    def test_forged_hops_rejected(self):
+        compiled = compile_program(pattern_program("broadcast", "direct", 3))
+        forged_hops = compiled.hops.copy()
+        forged_hops[2] += 1
+        forged = dataclasses.replace(compiled, hops=forged_hops)
+        violations = verify_program_coefficients(forged)
+        assert violations
+        assert all(v.check == "coeff-mismatch" for v in violations)
+        assert any(v.step_index == 2 for v in violations)
+
+    def test_forged_bytes_rejected(self):
+        compiled = compile_program(pattern_program("scatter", "halving", 4))
+        forged = dataclasses.replace(
+            compiled, bytes_per_m=compiled.bytes_per_m * 2
+        )
+        violations = verify_program_coefficients(forged)
+        assert any(v.check == "coeff-mismatch" for v in violations)
+
+    def test_forged_kind_rejected(self):
+        compiled = compile_program(pattern_program("allgather", "doubling", 3))
+        forged_kinds = compiled.kinds.copy()
+        forged_kinds[-1] = 3  # a PairStep masquerading as a send
+        forged = dataclasses.replace(compiled, kinds=forged_kinds)
+        violations = verify_program_coefficients(forged)
+        assert any(v.check == "coeff-mismatch" for v in violations)
+
+    def test_structurally_broken_program_rejected(self):
+        compiled = compile_program(pattern_program("broadcast", "binomial", 3))
+        bad_steps = list(compiled.program.steps)
+        bad_steps[1] = SendStep(src=2, dst=2, bytes_per_m=1)
+        forged = dataclasses.replace(
+            compiled, program=dataclasses.replace(
+                compiled.program, steps=tuple(bad_steps)
+            )
+        )
+        violations = verify_program_coefficients(forged)
+        assert any(v.check == "program-structure" for v in violations)
+
+    def test_truncated_arrays_rejected(self):
+        compiled = compile_program(pattern_program("scatter", "direct", 3))
+        forged = dataclasses.replace(compiled, kinds=compiled.kinds[:-1])
+        violations = verify_program_coefficients(forged)
         assert any(v.check == "coeff-mismatch" for v in violations)
 
 

@@ -1,0 +1,127 @@
+"""Tests for the batched traffic kernels and the single-pass optimizer.
+
+The traffic module's scalar entry points are thin wrappers over the
+batch kernels; these tests pin the batch/scalar identity (bitwise),
+the grid evaluator's shape and agreement, the hotspot generator, and
+the optimizer's documented lowest-index tie-break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitions import partitions
+from repro.core.traffic import (
+    best_partition_for_traffic,
+    hotspot_traffic,
+    route_traffic,
+    route_traffic_batch,
+    traffic_time,
+    traffic_time_batch,
+    traffic_time_grid,
+    uniform_traffic,
+)
+from repro.model.params import MachineParams
+from tests.conftest import small_cube_cases
+
+
+def _random_batch(d: int, b: int, seed: int) -> np.ndarray:
+    n = 1 << d
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100, size=(b, n, n)).astype(float)
+
+
+class TestBatchScalarIdentity:
+    @settings(deadline=None, max_examples=20)
+    @given(small_cube_cases(), st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_route_batch_equals_scalar_routes(self, case, seed):
+        """Each batch lane is bitwise the scalar routing of that lane."""
+        d, partition = case
+        traffics = _random_batch(d, 3, seed)
+        batch_steps = route_traffic_batch(traffics, partition)
+        for lane in range(3):
+            scalar_steps = route_traffic(traffics[lane], partition)
+            assert len(batch_steps) == len(scalar_steps)
+            for (bp, bs, bl), (sp, ss, sl) in zip(batch_steps, scalar_steps):
+                assert (bp, bs) == (sp, ss)
+                assert np.array_equal(bl[lane], sl)
+
+    @settings(deadline=None, max_examples=20)
+    @given(small_cube_cases(), st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_time_batch_equals_scalar_times(self, case, seed):
+        from repro.model.params import ipsc860
+
+        d, partition = case
+        p = ipsc860()
+        traffics = _random_batch(d, 4, seed)
+        batch = traffic_time_batch(traffics, partition, p)
+        assert batch.shape == (4,)
+        for lane in range(4):
+            assert batch[lane] == traffic_time(traffics[lane], partition, p)
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            route_traffic_batch(np.zeros((2, 3, 4)), (2,))
+        with pytest.raises(ValueError):
+            route_traffic_batch(np.zeros((4, 4)), (2,))  # missing batch axis
+        with pytest.raises(ValueError):
+            route_traffic_batch(-np.ones((1, 4, 4)), (2,))
+
+
+class TestGrid:
+    def test_grid_shape_and_agreement(self, ipsc):
+        d = 3
+        parts = [tuple(p) for p in partitions(d)]
+        traffics = _random_batch(d, 2, seed=9)
+        grid = traffic_time_grid(traffics, parts, ipsc)
+        assert grid.shape == (2, len(parts))
+        for b in range(2):
+            for j, partition in enumerate(parts):
+                assert grid[b, j] == traffic_time(traffics[b], partition, ipsc)
+
+    def test_optimizer_is_grid_argmin(self, ipsc):
+        d = 4
+        traffic = hotspot_traffic(d, 24.0)
+        parts = [tuple(p) for p in partitions(d)]
+        grid = traffic_time_grid(traffic[None], parts, ipsc)[0]
+        partition, t = best_partition_for_traffic(traffic, ipsc)
+        assert t == grid.min()
+        assert partition == parts[int(np.argmin(grid))]
+
+
+class TestHotspotTraffic:
+    def test_shape_and_skew(self):
+        matrix = hotspot_traffic(3, 8.0, skew=4.0)
+        uniform = uniform_traffic(3, 8.0)
+        assert matrix.shape == (8, 8)
+        assert np.all(matrix[0, 1:] == uniform[0, 1:] * 5.0)  # hot sender
+        assert np.all(matrix[2:, 0] == uniform[2:, 0] * 5.0)  # hot receiver
+        assert np.all(matrix[2:, 2:] == uniform[2:, 2:])
+
+    def test_zero_skew_is_uniform(self):
+        assert np.array_equal(hotspot_traffic(3, 8.0, skew=0.0), uniform_traffic(3, 8.0))
+
+    def test_optimizer_runs_on_hotspot(self, ipsc):
+        partition, t = best_partition_for_traffic(hotspot_traffic(4, 16.0), ipsc)
+        assert sum(partition) == 4
+        assert t > 0
+
+
+class TestTieBreak:
+    def test_symmetric_tie_picks_lowest_enumeration_index(self):
+        """d=2 with latency 2·hop_time prices both partitions at exactly
+        44.0; the documented rule picks the first partitions() entry —
+        the single-phase (2,) — deterministically."""
+        tie = MachineParams(
+            name="tie", latency=4.0, byte_time=1.0, hop_time=2.0, permute_time=0.0
+        )
+        traffic = uniform_traffic(2, 8.0)
+        parts = [tuple(p) for p in partitions(2)]
+        times = [traffic_time(traffic, p, tie) for p in parts]
+        assert times[0] == times[1] == 44.0  # genuinely tied
+        partition, t = best_partition_for_traffic(traffic, tie)
+        assert t == 44.0
+        assert partition == parts[0] == (2,)

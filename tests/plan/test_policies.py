@@ -13,6 +13,7 @@ from repro.plan import (
     FixedPolicy,
     ModelPolicy,
     ServicePolicy,
+    TrafficPolicy,
     algorithm_name,
     make_policy,
 )
@@ -161,6 +162,38 @@ class TestContentionPolicy:
 
         report = validate_policy(
             ContentionPolicy(ipsc), params=ipsc, apps=["transpose"]
+        )
+        assert report.rows
+        assert report.max_rel_error < 0.01
+
+
+class TestTrafficPolicy:
+    def test_decision_carries_traffic_price(self, ipsc):
+        from repro.core.traffic import (
+            best_partition_for_traffic,
+            hotspot_traffic,
+        )
+        from repro.sim.fastpath import exchange_time
+
+        decision = TrafficPolicy(ipsc).decide(4, 16.0)
+        partition, traffic_us = best_partition_for_traffic(
+            hotspot_traffic(4, 16.0), ipsc
+        )
+        assert decision.partition == partition
+        assert decision.traffic_us == traffic_us
+        assert decision.predicted_us == exchange_time(4, 16.0, partition, ipsc)
+        assert decision.source == "fastpath"
+
+    def test_name_includes_skew(self, ipsc):
+        assert TrafficPolicy(ipsc).name == "traffic:hot4"
+        assert TrafficPolicy(ipsc, skew=2.5).name == "traffic:hot2.5"
+
+    def test_decision_replays_through_validation(self, ipsc):
+        from repro.analysis.validation import validate_policy
+
+        report = validate_policy(
+            TrafficPolicy(ipsc), params=ipsc, apps=["transpose"],
+            pattern_configs=(), traffic_configs=(),
         )
         assert report.rows
         assert report.max_rel_error < 0.01
