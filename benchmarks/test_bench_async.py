@@ -23,9 +23,8 @@ import time
 
 import pytest
 
-from repro.service import OptimizerRegistry
+from repro.service import OptimizerRegistry, aconnect
 from repro.service.async_server import AsyncOptimizerServer
-from repro.service.client import AsyncServiceClient
 
 N_CLIENTS = 8
 PER_CLIENT = 50
@@ -156,7 +155,7 @@ def test_bench_async_client_library_sees_same_answers(shard_dir, tmp_path_factor
     """The pipelined client library path agrees with the raw loader."""
 
     async def drive(server):
-        async with await AsyncServiceClient.connect(server.address) as client:
+        async with await aconnect(str(server.address)) as client:
             return await client.query_many(WORKLOAD[:20])
 
     responses, _ = asyncio.run(

@@ -146,6 +146,7 @@ class TestMain:
             "fastpath",
             "apps_fastpath",
             "wire_protocol",
+            "cluster_scaleout",
         }
         for metrics in doc["benchmarks"].values():
             assert all(value > 1.0 for value in metrics.values())

@@ -48,6 +48,11 @@ Package map
     Optimizer-guided collective planning: pluggable policies
     (fixed / model / service) selecting the exchange algorithm per
     ``(d, m)`` for the comm layer, the apps, and the §9 patterns.
+:mod:`repro.fabric`
+    Shard fabric: a coordinator-backed optimizer *cluster* —
+    consistent-hash shard placement with N-way replication, node
+    registration + heartbeat liveness, epoch-versioned routing tables,
+    and cluster-routing clients behind :func:`repro.service.connect`.
 """
 
 from repro.apps import (
@@ -95,11 +100,15 @@ from repro.plan import (
 )
 from repro.service import (
     AsyncServiceClient,
+    OptimizerClient,
     OptimizerRegistry,
     Query,
     QueryBatch,
     QueryResult,
+    ServerConfig,
     ServiceClient,
+    aconnect,
+    connect,
 )
 from repro.sim import (
     SimulatedHypercube,
@@ -125,19 +134,23 @@ __all__ = [
     "Hypercube",
     "MachineParams",
     "ModelPolicy",
+    "OptimizerClient",
     "OptimizerRegistry",
     "PlanDecision",
     "Query",
     "QueryBatch",
     "QueryResult",
+    "ServerConfig",
     "ServiceClient",
     "ServicePolicy",
     "SimulatedHypercube",
     "__version__",
+    "aconnect",
     "adi_step",
     "analyze_contention",
     "batch_exchange_times",
     "best_partition",
+    "connect",
     "crossover_block_size",
     "distributed_fft2",
     "distributed_ifft2",

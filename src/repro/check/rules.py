@@ -21,11 +21,13 @@ unseeded-rand  no unseeded randomness: ``default_rng()`` without a
                seed, legacy ``numpy.random.*`` module calls, or
                stdlib ``random`` module calls under ``src/``
 protocol-drift a module-level ``ALL_CAPS`` literal defined in two
-               or more of ``server.py`` / ``async_server.py`` /
-               ``client.py`` / ``wire.py`` in the same directory must
-               agree — covering the binary frame constants (magic,
-               version, opcodes, header layout) as well as the JSON
-               limits
+               or more protocol modules — ``server.py`` /
+               ``async_server.py`` / ``client.py`` / ``wire.py`` /
+               ``api.py`` / ``config.py`` and the fabric's
+               ``coordinator.py`` / ``node.py`` / ``cluster.py`` —
+               must agree project-wide, covering the binary frame
+               constants (magic, version, opcodes, header layout),
+               the fabric control opcodes, and the JSON limits
 wall-clock     no wall-clock reads (``time.time``,
                ``perf_counter``, ``monotonic``) under ``src/`` —
                simulated time is the only clock
@@ -293,7 +295,16 @@ def _check_wall_clock(source: SourceFile) -> Iterator[tuple[int, str, dict]]:
 # ----------------------------------------------------------------------
 # rule: protocol-drift (project-wide)
 # ----------------------------------------------------------------------
-_PROTOCOL_FILES = {"server.py", "async_server.py", "client.py", "wire.py"}
+#: every module that participates in a wire protocol: the data plane
+#: (service) and the fabric control plane speak the same framing, so
+#: their constants are compared in ONE project-wide group — a fabric
+#: module redefining an opcode out of sync with wire.py is drift even
+#: though the files live in different directories
+_PROTOCOL_FILES = {
+    "server.py", "async_server.py", "client.py", "wire.py",
+    "api.py", "config.py",
+    "coordinator.py", "node.py", "cluster.py",
+}
 
 
 def _module_constants(tree: ast.Module) -> dict[str, tuple[int, object]]:
@@ -321,29 +332,24 @@ def _module_constants(tree: ast.Module) -> dict[str, tuple[int, object]]:
 def _check_protocol_drift(
     sources: Sequence[SourceFile],
 ) -> Iterator[tuple[str, int, str, dict]]:
-    by_dir: dict[str, list[SourceFile]] = {}
-    for source in sources:
-        path = Path(source.path)
-        if path.name in _PROTOCOL_FILES:
-            by_dir.setdefault(str(path.parent), []).append(source)
-    for _, peers in sorted(by_dir.items()):
-        if len(peers) < 2:
-            continue
-        definitions: dict[str, list[tuple[SourceFile, int, object]]] = {}
-        for source in peers:
-            for name, (lineno, value) in _module_constants(source.tree).items():
-                definitions.setdefault(name, []).append((source, lineno, value))
-        for name, sites in sorted(definitions.items()):
-            values = {repr(value) for _, _, value in sites}
-            if len(sites) >= 2 and len(values) > 1:
-                for source, lineno, value in sites:
-                    yield (
-                        source.path,
-                        lineno,
-                        f"protocol constant {name} = {value!r} disagrees with "
-                        f"its peer definition(s): {sorted(values)}",
-                        {"name": name, "values": sorted(values)},
-                    )
+    peers = [s for s in sources if Path(s.path).name in _PROTOCOL_FILES]
+    if len(peers) < 2:
+        return
+    definitions: dict[str, list[tuple[SourceFile, int, object]]] = {}
+    for source in peers:
+        for name, (lineno, value) in _module_constants(source.tree).items():
+            definitions.setdefault(name, []).append((source, lineno, value))
+    for name, sites in sorted(definitions.items()):
+        values = {repr(value) for _, _, value in sites}
+        if len(sites) >= 2 and len(values) > 1:
+            for source, lineno, value in sites:
+                yield (
+                    source.path,
+                    lineno,
+                    f"protocol constant {name} = {value!r} disagrees with "
+                    f"its peer definition(s): {sorted(values)}",
+                    {"name": name, "values": sorted(values)},
+                )
 
 
 # ----------------------------------------------------------------------
@@ -395,9 +401,10 @@ RULES: tuple[LintRule, ...] = (
     ),
     LintRule(
         rule_id="protocol-drift",
-        description="protocol constants agree across server/async_server/client/wire",
+        description="protocol constants agree across the service and fabric "
+                    "protocol modules, project-wide",
         fix_hint="define the constant once (server.py for JSON limits, wire.py "
-                 "for frame constants) and import it elsewhere",
+                 "for frame and fabric opcodes) and import it elsewhere",
         check_project=_check_protocol_drift,
     ),
 )

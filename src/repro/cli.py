@@ -97,6 +97,38 @@ def _fmt(partition) -> str:
     return format_partition(partition)
 
 
+def _add_server_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared socket-server tunables — one flag set, one
+    :class:`~repro.service.config.ServerConfig`, consumed identically
+    by ``repro serve --socket`` and ``repro cluster join``."""
+    parser.add_argument(
+        "--max-batch", type=int, default=None, metavar="N",
+        help="flush the cross-client micro-batch at N pending queries "
+        "(socket mode; default: 64)",
+    )
+    parser.add_argument(
+        "--hold-us", type=float, default=None, metavar="US",
+        help="hold the micro-batch up to US microseconds to gather "
+        "occupancy (socket mode; default: 0 — flush at the end of "
+        "the event-loop turn)",
+    )
+    parser.add_argument(
+        "--auth-token", metavar="TOKEN", default=None,
+        help="require this shared secret at connection negotiation "
+        "(socket mode; binary HELLO token / JSON {\"op\": \"auth\"})",
+    )
+    parser.add_argument(
+        "--shed-queries", type=int, default=None, metavar="N",
+        help="shed query requests with RETRY_LATER once N queries are "
+        "pending in the micro-batcher (socket mode; default: off)",
+    )
+    parser.add_argument(
+        "--shed-bytes", type=int, default=None, metavar="BYTES",
+        help="shed query requests with RETRY_LATER once BYTES of "
+        "requests are admitted but unanswered (socket mode; default: off)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -172,32 +204,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm", metavar="LOG",
         help="replay a JSON-lines query log into the result memo on startup",
     )
-    p_serve.add_argument(
-        "--max-batch", type=int, default=None, metavar="N",
-        help="flush the cross-client micro-batch at N pending queries "
-        "(socket mode; default: 64)",
+    _add_server_flags(p_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="run and administer a coordinator-backed optimizer cluster"
     )
-    p_serve.add_argument(
-        "--hold-us", type=float, default=None, metavar="US",
-        help="hold the micro-batch up to US microseconds to gather "
-        "occupancy (socket mode; default: 0 — flush at the end of "
-        "the event-loop turn)",
+    csub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+    p_coord = csub.add_parser(
+        "coordinator", help="run the cluster control plane (routing + liveness)"
     )
-    p_serve.add_argument(
-        "--auth-token", metavar="TOKEN", default=None,
-        help="require this shared secret at connection negotiation "
-        "(socket mode; binary HELLO token / JSON {\"op\": \"auth\"})",
+    p_coord.add_argument(
+        "address", metavar="ADDR", help="bind HOST:PORT or unix:PATH"
     )
-    p_serve.add_argument(
-        "--shed-queries", type=int, default=None, metavar="N",
-        help="shed query requests with RETRY_LATER once N queries are "
-        "pending in the micro-batcher (socket mode; default: off)",
+    p_coord.add_argument(
+        "--replication", type=int, default=2, metavar="N",
+        help="replicas per (preset, d) shard key (default: 2)",
     )
-    p_serve.add_argument(
-        "--shed-bytes", type=int, default=None, metavar="BYTES",
-        help="shed query requests with RETRY_LATER once BYTES of "
-        "requests are admitted but unanswered (socket mode; default: off)",
+    p_coord.add_argument(
+        "--heartbeat-s", type=float, default=2.0, metavar="S",
+        help="node heartbeat cadence in seconds (default: 2.0)",
     )
+    p_coord.add_argument(
+        "--miss-limit", type=int, default=3, metavar="K",
+        help="consecutive missed heartbeats before a node is dead "
+        "(default: 3)",
+    )
+    p_join = csub.add_parser(
+        "join", help="serve optimizer queries as a member of a cluster"
+    )
+    p_join.add_argument(
+        "coordinator", metavar="COORD", help="coordinator HOST:PORT or unix:PATH"
+    )
+    p_join.add_argument(
+        "--listen", metavar="ADDR", required=True,
+        help="data-plane bind address (HOST:PORT or unix:PATH; port 0 "
+        "picks an ephemeral port)",
+    )
+    p_join.add_argument(
+        "--shards", metavar="DIR",
+        help="serve from a prebuilt shard directory (see 'repro shards')",
+    )
+    p_join.add_argument(
+        "--warm", metavar="LOG",
+        help="replay a JSON-lines query log into the result memo on startup",
+    )
+    p_join.add_argument(
+        "--node-id", metavar="ID", default=None,
+        help="stable node name (default: the advertised address)",
+    )
+    p_join.add_argument(
+        "--advertise", metavar="ADDR", default=None,
+        help="address clients should dial (default: the bound address)",
+    )
+    _add_server_flags(p_join)
+    p_status = csub.add_parser(
+        "status", help="print the coordinator's membership and routing state"
+    )
+    p_status.add_argument(
+        "coordinator", metavar="COORD", help="coordinator HOST:PORT or unix:PATH"
+    )
+    p_status.add_argument(
+        "--json", action="store_true", help="print the raw status document"
+    )
+    p_drain = csub.add_parser(
+        "drain", help="gracefully drain one node out of the cluster"
+    )
+    p_drain.add_argument(
+        "coordinator", metavar="COORD", help="coordinator HOST:PORT or unix:PATH"
+    )
+    p_drain.add_argument("node", metavar="NODE", help="node id to drain")
 
     p_query = sub.add_parser(
         "query", help="one-shot optimizer query through the service path"
@@ -210,8 +285,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--connect", metavar="ADDR",
-        help="ask a running socket server (HOST:PORT or unix:PATH) "
-        "instead of building an in-process registry",
+        help="ask a running socket server (HOST:PORT or unix:PATH) or a "
+        "whole cluster (cluster:COORD_ADDR) instead of building an "
+        "in-process registry",
     )
     p_query.add_argument(
         "--wire", choices=("json", "binary"), default="json",
@@ -461,17 +537,9 @@ def cmd_shards(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
-    socket_only = (
-        ("--max-batch", args.max_batch),
-        ("--hold-us", args.hold_us),
-        ("--auth-token", args.auth_token),
-        ("--shed-queries", args.shed_queries),
-        ("--shed-bytes", args.shed_bytes),
-    )
-    misused = [flag for flag, value in socket_only if value is not None]
-    if args.socket is None and misused:
-        raise SystemExit(f"{'/'.join(misused)} only apply to --socket serving")
+def _serving_registry(args):
+    """The registry plus effective default preset behind every serving
+    entry point (``serve`` and ``cluster join``), warm-up included."""
     registry = _registry(args.shards)
     default_preset: str | None = args.machine
     if args.machine not in registry.preset_names:
@@ -491,16 +559,34 @@ def cmd_serve(args) -> int:
         except OSError as exc:
             raise SystemExit(f"cannot read warm-up log: {exc}")
         print(f"warm-up: {report.describe()}", file=sys.stderr)
+    return registry, default_preset
+
+
+def cmd_serve(args) -> int:
+    socket_only = (
+        ("--max-batch", args.max_batch),
+        ("--hold-us", args.hold_us),
+        ("--auth-token", args.auth_token),
+        ("--shed-queries", args.shed_queries),
+        ("--shed-bytes", args.shed_bytes),
+    )
+    misused = [flag for flag, value in socket_only if value is not None]
+    if args.socket is None and misused:
+        raise SystemExit(f"{'/'.join(misused)} only apply to --socket serving")
+    registry, default_preset = _serving_registry(args)
     # the summary reports *served* traffic: whatever warm-up resolved
     # into the memo is a baseline, not a query some client asked
     base = registry.stats.as_dict()
     if args.socket:
         from repro.service.async_server import run_server
         from repro.service.client import parse_address
+        from repro.service.config import ServerConfig
 
         try:
             address = parse_address(args.socket)
+            config = ServerConfig.from_flags(args, default_preset=default_preset)
         except ValueError as exc:
+            # bad --max-batch / --hold-us / --shed-* values surface here
             raise SystemExit(str(exc))
 
         def announce(server) -> None:
@@ -510,20 +596,7 @@ def cmd_serve(args) -> int:
             )
 
         try:
-            server_stats = run_server(
-                registry,
-                address,
-                default_preset=default_preset,
-                max_batch=args.max_batch if args.max_batch is not None else 64,
-                hold_us=args.hold_us if args.hold_us is not None else 0.0,
-                auth_token=args.auth_token,
-                shed_queries=args.shed_queries,
-                shed_bytes=args.shed_bytes,
-                ready=announce,
-            )
-        except ValueError as exc:
-            # bad --max-batch / --hold-us / --shed-* values surface here
-            raise SystemExit(str(exc))
+            server_stats = run_server(registry, address, config=config, ready=announce)
         except OSError as exc:
             raise SystemExit(f"cannot serve on {address}: {exc}")
         stats = registry.stats
@@ -553,6 +626,141 @@ def cmd_serve(args) -> int:
         f"{stats.tables_loaded - base['tables_loaded']} tables loaded, "
         f"{stats.tables_built - base['tables_built']} built",
         file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    handler = {
+        "coordinator": _cmd_cluster_coordinator,
+        "join": _cmd_cluster_join,
+        "status": _cmd_cluster_status,
+        "drain": _cmd_cluster_drain,
+    }[args.cluster_command]
+    return handler(args)
+
+
+def _cmd_cluster_coordinator(args) -> int:
+    from repro.fabric.coordinator import run_coordinator
+
+    def announce(coordinator) -> None:
+        print(
+            f"cluster coordinator serving on {coordinator.address} "
+            f"(replication {args.replication}, heartbeat {args.heartbeat_s:g}s "
+            f"x{args.miss_limit})",
+            file=sys.stderr, flush=True,
+        )
+
+    try:
+        status = run_coordinator(
+            args.address,
+            replication=args.replication,
+            heartbeat_s=args.heartbeat_s,
+            miss_limit=args.miss_limit,
+            ready=announce,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except OSError as exc:
+        raise SystemExit(f"cannot serve coordinator on {args.address}: {exc}")
+    nodes = status["nodes"]
+    alive = sum(1 for node in nodes if node["state"] == "alive")
+    print(
+        f"coordinator stopped at epoch {status['epoch']}: "
+        f"{len(nodes)} nodes seen, {alive} alive",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_cluster_join(args) -> int:
+    from repro.fabric.node import run_node
+    from repro.service.config import ServerConfig
+
+    registry, default_preset = _serving_registry(args)
+
+    def announce(node) -> None:
+        print(
+            f"cluster node {node.node_id} serving optimizer queries on "
+            f"{node.address} (coordinator {args.coordinator})",
+            file=sys.stderr, flush=True,
+        )
+
+    try:
+        config = ServerConfig.from_flags(args, default_preset=default_preset)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    try:
+        stats = run_node(
+            registry,
+            args.coordinator,
+            args.listen,
+            config=config,
+            node_id=args.node_id,
+            advertise=args.advertise,
+            ready=announce,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except OSError as exc:
+        raise SystemExit(f"cannot serve cluster node on {args.listen}: {exc}")
+    print(
+        f"node stopped: served {stats.responses} responses over "
+        f"{stats.connections_opened} connections, {stats.shed} shed, "
+        f"p99 {stats.p99_us:.0f} us",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_cluster_status(args) -> int:
+    from repro.fabric.cluster import fetch_status
+
+    try:
+        status = fetch_status(args.coordinator)
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach cluster coordinator at {args.coordinator}: {exc} "
+            f"(is it running? start one with "
+            f"'repro cluster coordinator {args.coordinator}')"
+        )
+    if args.json:
+        print(json.dumps(status))
+        return 0
+    nodes = status["nodes"]
+    alive = sum(1 for node in nodes if node["state"] == "alive")
+    print(
+        f"cluster at {args.coordinator}: epoch {status['epoch']}, "
+        f"replication {status['replication']}, heartbeat "
+        f"{status['heartbeat_s']:g}s x{status['miss_limit']}, "
+        f"{alive}/{len(nodes)} nodes alive"
+    )
+    for node in nodes:
+        stats = node.get("stats", {})
+        print(
+            f"  {node['node']:24s} {node['address']:22s} {node['state']:8s} "
+            f"age {node['age_s']:6.1f}s  shed {stats.get('shed', 0):>4}  "
+            f"p99 {stats.get('p99_us', 0.0):8.0f} us  "
+            f"{stats.get('connections_active', 0)} conns"
+        )
+    return 0
+
+
+def _cmd_cluster_drain(args) -> int:
+    from repro.fabric.cluster import RouteError, request_drain
+
+    try:
+        answer = request_drain(args.coordinator, args.node)
+    except RouteError as exc:
+        raise SystemExit(f"drain refused: {exc}")
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach cluster coordinator at {args.coordinator}: {exc}"
+        )
+    print(
+        f"node {answer['node']} is {answer['state']} "
+        f"(epoch {answer['epoch']}); it leaves the routing table now and "
+        f"shuts down on its next heartbeat"
     )
     return 0
 
@@ -600,13 +808,15 @@ def cmd_query(args) -> int:
 
 
 def _cmd_query_connect(args) -> int:
-    """Answer ``repro query --connect`` from a running socket server."""
-    from repro.service.client import ServiceClient, ServiceError
+    """Answer ``repro query --connect`` from a running socket server
+    (or, with a ``cluster:`` target, from a whole cluster)."""
+    from repro.fabric.cluster import RouteError
+    from repro.service import ServiceError, connect
 
     if args.shards:
         raise SystemExit("--connect and --shards are mutually exclusive")
     try:
-        with ServiceClient(
+        with connect(
             args.connect, wire=args.wire, auth_token=args.auth_token
         ) as client:
             response = client.query(args.d, args.m, preset=args.machine)
@@ -614,8 +824,22 @@ def _cmd_query_connect(args) -> int:
         raise SystemExit(str(exc))
     except ServiceError as exc:
         raise SystemExit(f"server error: {exc}")
+    except RouteError as exc:
+        raise SystemExit(f"cluster at {args.connect} could not answer: {exc}")
     except (ConnectionError, OSError) as exc:
-        raise SystemExit(f"cannot reach optimizer server at {args.connect}: {exc}")
+        if args.connect.startswith("cluster:"):
+            hint = (
+                "is the coordinator running? start one with "
+                f"'repro cluster coordinator {args.connect.removeprefix('cluster:')}'"
+            )
+        else:
+            hint = (
+                "is the server running? start one with "
+                f"'repro serve --socket {args.connect}'"
+            )
+        raise SystemExit(
+            f"cannot reach optimizer server at {args.connect}: {exc} ({hint})"
+        )
     if args.json:
         print(json.dumps({
             key: response[key]
@@ -805,6 +1029,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "shards": cmd_shards,
         "serve": cmd_serve,
+        "cluster": cmd_cluster,
         "query": cmd_query,
         "plan": cmd_plan,
         "apps": cmd_apps,

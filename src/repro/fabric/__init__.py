@@ -1,0 +1,68 @@
+"""Shard fabric: a coordinator-backed optimizer cluster.
+
+The registry became a server (PR 4), the server became SLO-grade
+(PR 7); this package makes it a *cluster*.  A NameNode/DataNode-style
+split spreads (preset, d) optimizer shards across many
+:class:`~repro.service.async_server.AsyncOptimizerServer` nodes:
+
+:mod:`repro.fabric.ring`
+    consistent hashing with virtual nodes — stable shard placement
+    under membership churn;
+:mod:`repro.fabric.membership` / :mod:`repro.fabric.routing`
+    the coordinator's pure state: node registry, heartbeat liveness
+    (miss-K ⇒ dead), and the epoch-versioned routing table it
+    publishes;
+:mod:`repro.fabric.coordinator`
+    the asyncio control-plane server (JOIN / HEARTBEAT / ROUTES /
+    STATUS / DRAIN over the :mod:`repro.service.wire` framing);
+:mod:`repro.fabric.node`
+    one cluster member: a serving registry plus its join/heartbeat
+    loop (``repro cluster join``);
+:mod:`repro.fabric.cluster`
+    the routing clients behind :func:`repro.service.connect` for
+    ``cluster:`` targets — shard fan-out, replica failover with capped
+    exponential backoff, epoch-conditional route refresh.
+
+Nodes dying, shedding, or draining are normal, retried events: the
+chaos test SIGKILLs a replica mid-load and every query still answers
+exactly once.
+"""
+
+from repro.fabric.cluster import (
+    AsyncClusterClient,
+    ClusterClient,
+    CoordinatorRoutes,
+    RetryPolicy,
+    RouteError,
+    StaticRoutes,
+    fetch_routes,
+    fetch_status,
+    request_drain,
+)
+from repro.fabric.coordinator import Coordinator, run_coordinator
+from repro.fabric.membership import Membership, NodeInfo
+from repro.fabric.node import FabricNode, run_node
+from repro.fabric.ring import HashRing, moved_fraction, shard_key
+from repro.fabric.routing import RoutingTable
+
+__all__ = [
+    "AsyncClusterClient",
+    "ClusterClient",
+    "Coordinator",
+    "CoordinatorRoutes",
+    "FabricNode",
+    "HashRing",
+    "Membership",
+    "NodeInfo",
+    "RetryPolicy",
+    "RouteError",
+    "RoutingTable",
+    "StaticRoutes",
+    "fetch_routes",
+    "fetch_status",
+    "moved_fraction",
+    "request_drain",
+    "run_coordinator",
+    "run_node",
+    "shard_key",
+]

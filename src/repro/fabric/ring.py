@@ -1,0 +1,112 @@
+"""Consistent hash ring mapping (preset, d) shard keys to nodes.
+
+The coordinator places every shard key on ``replication`` distinct
+nodes; clients route each query to the key's replica list and fail
+over down it.  Consistent hashing keeps placement stable under
+membership churn: when a node joins or leaves a ring of *k* nodes,
+only ~``1/(k+1)`` (resp. ``1/k``) of the key space moves — every other
+key keeps its replicas, so a routing-table refresh invalidates almost
+none of a client's open connections.
+
+Each node projects :data:`DEFAULT_VNODES` virtual points onto a 64-bit
+circle (BLAKE2b, keyed by ``"{node}#{i}"``) so load spreads evenly
+even with a handful of physical nodes; a key hashes once and its
+replicas are the first ``n`` *distinct* owners clockwise from that
+point.
+
+>>> ring = HashRing(["a", "b", "c"])
+>>> replicas = ring.replicas(shard_key("bokhari", 7), 2)
+>>> len(replicas) == len(set(replicas)) == 2
+True
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "moved_fraction", "shard_key"]
+
+#: virtual points per node on the hash circle
+DEFAULT_VNODES = 64
+
+
+def _hash64(text: str) -> int:
+    """A stable 64-bit position on the ring for any label."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def shard_key(preset: str, d: int) -> str:
+    """The routing key for one (preset, d) optimizer shard."""
+    return f"{preset}/{d}"
+
+
+class HashRing:
+    """An immutable consistent-hash ring over a set of node ids.
+
+    Build a fresh ring from the routing table's node list whenever the
+    epoch changes — construction is cheap (``nodes * vnodes`` hashes)
+    and an immutable ring makes the routing table safely shareable.
+    """
+
+    def __init__(self, nodes: Iterable[str], *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.nodes: tuple[str, ...] = tuple(sorted(set(nodes)))
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for node in self.nodes:
+            points.extend(
+                (_hash64(f"{node}#{i}"), node) for i in range(vnodes)
+            )
+        points.sort()
+        self._points: list[int] = [p for p, _ in points]
+        self._owners: list[str] = [n for _, n in points]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __bool__(self) -> bool:
+        return bool(self.nodes)
+
+    def replicas(self, key: str, n: int) -> tuple[str, ...]:
+        """The first ``n`` distinct nodes clockwise from ``key``'s
+        position — the key's replica set, primary first.  Returns every
+        node (in ring order) when fewer than ``n`` exist."""
+        if n < 1:
+            raise ValueError(f"replica count must be >= 1, got {n}")
+        if not self.nodes:
+            return ()
+        want = min(n, len(self.nodes))
+        start = bisect.bisect_right(self._points, _hash64(key))
+        chosen: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                chosen.append(owner)
+                if len(chosen) == want:
+                    break
+        return tuple(chosen)
+
+    def primary(self, key: str) -> str:
+        """The first replica for ``key`` (ring must be non-empty)."""
+        replicas = self.replicas(key, 1)
+        if not replicas:
+            raise ValueError("hash ring has no nodes")
+        return replicas[0]
+
+
+def moved_fraction(
+    before: HashRing, after: HashRing, keys: Sequence[str]
+) -> float:
+    """The fraction of ``keys`` whose primary changed between rings —
+    the property tests bound this against the consistent-hashing
+    expectation (``1/k`` for one leave, ``1/(k+1)`` for one join)."""
+    if not keys:
+        return 0.0
+    moved = sum(1 for key in keys if before.primary(key) != after.primary(key))
+    return moved / len(keys)

@@ -1,0 +1,83 @@
+"""The versioned routing table the coordinator publishes.
+
+A :class:`RoutingTable` is an immutable snapshot of "who serves what":
+the membership epoch it was cut at, the replication factor, and the
+routable nodes (alive, not draining).  Clients cache one and route
+every query locally — :meth:`RoutingTable.replicas_for` hashes the
+(preset, d) shard key onto the table's consistent-hash ring and
+returns the replica addresses in failover order.  When the epoch goes
+stale (a node joined, died, or drained) the coordinator's ROUTES
+answer carries a fresh table; nothing else about the client changes.
+
+The wire shape is :meth:`RoutingTable.as_dict` /
+:meth:`RoutingTable.from_dict` — a plain JSON object inside an
+``OP_ROUTES_OK`` frame (see :mod:`repro.service.wire`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fabric.ring import HashRing, shard_key
+
+__all__ = ["RoutingTable"]
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """One epoch's shard-to-node map.
+
+    ``nodes`` pairs each routable node id with its advertised serving
+    address; ``presets`` is the union of the nodes' preset catalogs
+    (what the cluster as a whole can answer).
+    """
+
+    epoch: int
+    replication: int
+    nodes: tuple[tuple[str, str], ...]
+    presets: tuple[str, ...] = ()
+    default_preset: str | None = None
+    _ring: HashRing = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ValueError(f"replication must be >= 1, got {self.replication}")
+        object.__setattr__(self, "_ring", HashRing(n for n, _ in self.nodes))
+
+    @property
+    def addresses(self) -> dict[str, str]:
+        return dict(self.nodes)
+
+    def replicas_for(self, preset: str, d: int) -> tuple[str, ...]:
+        """The serving addresses for one shard key, primary first."""
+        addresses = self.addresses
+        return tuple(
+            addresses[node]
+            for node in self._ring.replicas(shard_key(preset, d), self.replication)
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "replication": self.replication,
+            "nodes": [[node, address] for node, address in self.nodes],
+            "presets": list(self.presets),
+            "default_preset": self.default_preset,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RoutingTable":
+        try:
+            nodes = tuple(
+                (str(node), str(address)) for node, address in doc["nodes"]
+            )
+            default = doc.get("default_preset")
+            return cls(
+                epoch=int(doc["epoch"]),
+                replication=int(doc["replication"]),
+                nodes=nodes,
+                presets=tuple(str(p) for p in doc.get("presets", [])),
+                default_preset=str(default) if default is not None else None,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed routing table document: {exc}") from None

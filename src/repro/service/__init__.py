@@ -27,13 +27,30 @@ repeated future use".  This subsystem is the *repeated future use*:
     frames, packed ``(preset_id, d, m)`` query records, contiguous
     answer arrays) negotiated per connection with JSON fallback.
 :mod:`repro.service.client`
-    :class:`ServiceClient` / :class:`AsyncServiceClient` — sync and
-    asyncio clients with pipelined ``query_many`` on either wire.
+    :class:`ServerClient` / :class:`AsyncServerClient` — sync and
+    asyncio clients with pipelined ``query_many`` on either wire
+    (the old ``ServiceClient`` / ``AsyncServiceClient`` names remain
+    as deprecation shims).
+:mod:`repro.service.api`
+    :func:`connect` / :func:`aconnect` — the one public entry point:
+    hand it ``"HOST:PORT"`` for a server or ``"cluster:HOST:PORT"``
+    for a :mod:`repro.fabric` coordinator and get back one
+    :class:`OptimizerClient`, identical surface either way.
+:mod:`repro.service.config`
+    :class:`ServerConfig` — every server tunable in one validated
+    dataclass, consumed identically by ``repro serve``,
+    ``repro cluster join``, and programmatic construction.
 :mod:`repro.service.warmup`
     :func:`warm_registry` — seed the result memo from a JSON-lines
     query log before the first connection (``repro serve --warm``).
 """
 
+from repro.service.api import (
+    AsyncOptimizerClient,
+    OptimizerClient,
+    aconnect,
+    connect,
+)
 from repro.service.async_server import (
     AsyncOptimizerServer,
     LatencyHistogram,
@@ -43,32 +60,42 @@ from repro.service.async_server import (
 from repro.service.batch import Query, QueryBatch, QueryResult, as_query, resolve_queries
 from repro.service.client import (
     Address,
+    AsyncServerClient,
     AsyncServiceClient,
+    ServerClient,
     ServiceClient,
     ServiceError,
     parse_address,
 )
+from repro.service.config import ServerConfig
 from repro.service.registry import DEFAULT_DIMS, OptimizerRegistry, RegistryStats
 from repro.service.server import MAX_BATCH_QUERIES, handle_request, serve
 from repro.service.warmup import WarmupReport, load_query_log, warm_registry
 
 __all__ = [
     "Address",
+    "AsyncOptimizerClient",
     "AsyncOptimizerServer",
+    "AsyncServerClient",
     "AsyncServiceClient",
     "DEFAULT_DIMS",
     "LatencyHistogram",
     "MAX_BATCH_QUERIES",
+    "OptimizerClient",
     "OptimizerRegistry",
     "Query",
     "QueryBatch",
     "QueryResult",
     "RegistryStats",
+    "ServerClient",
+    "ServerConfig",
     "ServerStats",
     "ServiceClient",
     "ServiceError",
     "WarmupReport",
+    "aconnect",
     "as_query",
+    "connect",
     "handle_request",
     "load_query_log",
     "parse_address",

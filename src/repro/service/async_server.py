@@ -72,7 +72,7 @@ import os
 import signal
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import AsyncIterator, Callable
+from typing import Any, AsyncIterator, Callable
 
 import numpy as np
 
@@ -85,6 +85,7 @@ from repro.service.batch import (
     resolve_queries,
 )
 from repro.service.client import Address, parse_address
+from repro.service.config import ServerConfig
 from repro.service.registry import OptimizerRegistry
 from repro.service.server import (
     MAX_BATCH_QUERIES,
@@ -112,6 +113,10 @@ __all__ = [
     "ServerStats",
     "run_server",
 ]
+
+#: sentinel distinguishing "keyword not passed" from an explicit None,
+#: so config= and loose keywords cannot silently fight
+_UNSET: Any = object()
 
 
 class LatencyHistogram:
@@ -385,45 +390,66 @@ class AsyncOptimizerServer:
     def __init__(
         self,
         registry: OptimizerRegistry,
+        config: ServerConfig | None = None,
         *,
-        default_preset: str | None = None,
-        max_batch: int = 64,
-        hold_us: float = 0.0,
-        max_queries: int = MAX_BATCH_QUERIES,
-        max_line_bytes: int = 1 << 20,
-        max_pipeline: int = 1024,
-        drain_timeout: float = 5.0,
-        auth_token: str | None = None,
-        shed_queries: int | None = None,
-        shed_bytes: int | None = None,
+        default_preset: Any = _UNSET,
+        max_batch: Any = _UNSET,
+        hold_us: Any = _UNSET,
+        max_queries: Any = _UNSET,
+        max_line_bytes: Any = _UNSET,
+        max_pipeline: Any = _UNSET,
+        drain_timeout: Any = _UNSET,
+        auth_token: Any = _UNSET,
+        shed_queries: Any = _UNSET,
+        shed_bytes: Any = _UNSET,
     ) -> None:
-        if shed_queries is not None and shed_queries < 1:
-            raise ValueError(f"shed_queries must be >= 1, got {shed_queries}")
-        if shed_bytes is not None and shed_bytes < 1:
-            raise ValueError(f"shed_bytes must be >= 1, got {shed_bytes}")
+        overrides = {
+            name: value
+            for name, value in (
+                ("default_preset", default_preset),
+                ("max_batch", max_batch),
+                ("hold_us", hold_us),
+                ("max_queries", max_queries),
+                ("max_line_bytes", max_line_bytes),
+                ("max_pipeline", max_pipeline),
+                ("drain_timeout", drain_timeout),
+                ("auth_token", auth_token),
+                ("shed_queries", shed_queries),
+                ("shed_bytes", shed_bytes),
+            )
+            if value is not _UNSET
+        }
+        if config is not None and overrides:
+            raise ValueError(
+                "pass either config=ServerConfig(...) or individual server "
+                f"keywords, not both (got {sorted(overrides)})"
+            )
+        cfg = config if config is not None else ServerConfig(**overrides)
         self.registry = registry
         self.stats = ServerStats()
-        self._default_preset = default_preset
-        self._max_queries = max_queries
-        self._max_line_bytes = max_line_bytes
+        #: the validated configuration this server runs under
+        self.config = cfg
+        self._default_preset = cfg.default_preset
+        self._max_queries = cfg.max_queries
+        self._max_line_bytes = cfg.max_line_bytes
         #: per-connection cap on admitted-but-unwritten responses: past
         #: it the read loop stops admitting, which stops reading, which
         #: pushes TCP backpressure onto a client that isn't reading —
         #: server memory stays bounded no matter how a client behaves
-        self._max_pipeline = max_pipeline
+        self._max_pipeline = cfg.max_pipeline
         #: how long a drain waits for a connection's queued responses to
         #: reach a slow client before dropping them (shutdown must not
         #: hang on a client that stopped reading)
-        self._drain_timeout = drain_timeout
+        self._drain_timeout = cfg.drain_timeout
         #: shared secret: binary HELLOs must carry it, JSON connections
         #: must send {"op": "auth", "token": ...} before anything else
-        self._auth_token = auth_token
+        self._auth_token = cfg.auth_token
         #: admission-control high-water marks (None = shedding off):
         #: queries pending in the batcher / bytes admitted-but-unanswered
-        self._shed_queries = shed_queries
-        self._shed_bytes = shed_bytes
+        self._shed_queries = cfg.shed_queries
+        self._shed_bytes = cfg.shed_bytes
         self._batcher = _MicroBatcher(
-            registry, self.stats, max_batch=max_batch, hold_s=hold_us / 1e6
+            registry, self.stats, max_batch=cfg.max_batch, hold_s=cfg.hold_us / 1e6
         )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -1002,6 +1028,7 @@ def run_server(
     registry: OptimizerRegistry,
     address: str | Address,
     *,
+    config: ServerConfig | None = None,
     default_preset: str | None = None,
     max_batch: int = 64,
     hold_us: float = 0.0,
@@ -1015,19 +1042,21 @@ def run_server(
     """Serve until shutdown (request, signal, or KeyboardInterrupt);
     returns the transport stats.  The blocking entry behind
     ``repro serve --socket``; ``ready`` fires once the socket is bound.
+    A ``config`` (:class:`~repro.service.config.ServerConfig`) carries
+    every tunable at once and takes precedence over the loose keywords.
     """
+    cfg = config if config is not None else ServerConfig(
+        default_preset=default_preset,
+        max_batch=max_batch,
+        hold_us=hold_us,
+        max_queries=max_queries,
+        auth_token=auth_token,
+        shed_queries=shed_queries,
+        shed_bytes=shed_bytes,
+    )
 
     async def _main() -> ServerStats:
-        server = AsyncOptimizerServer(
-            registry,
-            default_preset=default_preset,
-            max_batch=max_batch,
-            hold_us=hold_us,
-            max_queries=max_queries,
-            auth_token=auth_token,
-            shed_queries=shed_queries,
-            shed_bytes=shed_bytes,
-        )
+        server = AsyncOptimizerServer(registry, cfg)
         await server.start(address)
         if install_signal_handlers:
             loop = asyncio.get_running_loop()

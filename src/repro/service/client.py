@@ -5,23 +5,30 @@ Two clients over the same protocols the socket server speaks
 stdio loop (:mod:`repro.service.server`) and, with ``wire="binary"``,
 the length-prefixed binary protocol of :mod:`repro.service.wire`:
 
-:class:`ServiceClient`
+:class:`ServerClient`
     Blocking sockets, for scripts and the ``repro query --connect``
-    CLI.  :meth:`ServiceClient.query_many` pipelines: every request is
+    CLI.  :meth:`ServerClient.query_many` pipelines: every request is
     written before the first response is read, so a server that
     micro-batches across in-flight requests sees them all at once.
-:class:`AsyncServiceClient`
+:class:`AsyncServerClient`
     The same surface on asyncio streams, for concurrent load
     generators and services embedding the client in an event loop.
 
+Prefer the :func:`repro.service.connect` / :func:`repro.service.aconnect`
+factories over constructing these directly — they return the same
+objects for a single server and a cluster-routing client for a
+``cluster:`` target, behind one :class:`~repro.service.api.OptimizerClient`
+protocol.  The pre-fabric names ``ServiceClient`` / ``AsyncServiceClient``
+remain as deprecation shims.
+
 On the binary wire the client opens with a ``HELLO`` (carrying the
 optional ``auth_token``) and keeps the server's ``HELLO_OK`` preset
-catalog, then :meth:`~ServiceClient.query_many` packs queries into
+catalog, then :meth:`~ServerClient.query_many` packs queries into
 ``(preset_id, d, m)`` record frames and decodes the answer arrays back
 into the same response documents the JSON wire produces — callers
 cannot tell the transports apart by result shape.  Ops (``stats``,
 ``shutdown``) stay JSON-connection affairs; a binary
-:meth:`~ServiceClient.presets` answers from the negotiated catalog.
+:meth:`~ServerClient.presets` answers from the negotiated catalog.
 With ``auth_token`` on the JSON wire, the client authenticates with
 ``{"op": "auth", "token": ...}`` before anything else.
 
@@ -35,7 +42,7 @@ Address(kind='tcp', host='127.0.0.1', port=7831, path='')
 'unix:/tmp/repro.sock'
 
 Responses are the protocol's JSON documents as plain dicts;
-:meth:`~ServiceClient.query` raises :class:`ServiceError` when the
+:meth:`~ServerClient.query` raises :class:`ServiceError` when the
 server answers ``{"ok": false}`` so callers cannot mistake an in-band
 error for a result.
 """
@@ -45,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
+import warnings
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
@@ -52,7 +60,9 @@ from repro.service import wire as wire_proto
 
 __all__ = [
     "Address",
+    "AsyncServerClient",
     "AsyncServiceClient",
+    "ServerClient",
     "ServiceClient",
     "ServiceError",
     "parse_address",
@@ -241,7 +251,7 @@ def _hello_session(opcode: int, payload: bytes) -> _BinarySession:
     return _BinarySession(wire_proto.parse_hello_ok(payload))
 
 
-class ServiceClient:
+class ServerClient:
     """Blocking client for one server connection.
 
     ``wire="binary"`` negotiates the binary protocol at connect (and
@@ -404,17 +414,17 @@ class ServiceClient:
         except OSError:
             pass
 
-    def __enter__(self) -> "ServiceClient":
+    def __enter__(self) -> "ServerClient":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
 
 
-class AsyncServiceClient:
+class AsyncServerClient:
     """The same client surface on asyncio streams.
 
-    >>> # client = await AsyncServiceClient.connect("127.0.0.1:7831")
+    >>> # client = await AsyncServerClient.connect("127.0.0.1:7831")
     >>> # await client.query(7, 40)  ->  {"ok": True, "partition": [4, 3], ...}
     """
 
@@ -438,7 +448,7 @@ class AsyncServiceClient:
         timeout: float | None = 30.0,
         wire: str = "json",
         auth_token: str | None = None,
-    ) -> "AsyncServiceClient":
+    ) -> "AsyncServerClient":
         if wire not in _WIRES:
             raise ValueError(f"wire must be one of {_WIRES}, got {wire!r}")
         addr = parse_address(address)
@@ -561,8 +571,38 @@ class AsyncServiceClient:
         except (ConnectionError, OSError):
             pass
 
-    async def __aenter__(self) -> "AsyncServiceClient":
+    async def __aenter__(self) -> "AsyncServerClient":
         return self
 
     async def __aexit__(self, *exc_info) -> None:
         await self.aclose()
+
+
+# ----------------------------------------------------------------------
+# deprecation shims (pre-fabric names)
+# ----------------------------------------------------------------------
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.service.{old} is deprecated; use repro.service.{new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class ServiceClient(ServerClient):
+    """Deprecated name for :class:`ServerClient` — prefer
+    :func:`repro.service.connect`, which also understands ``cluster:``
+    targets."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        _deprecated("ServiceClient", "connect()")
+        super().__init__(*args, **kwargs)
+
+
+class AsyncServiceClient(AsyncServerClient):
+    """Deprecated name for :class:`AsyncServerClient` — prefer
+    :func:`repro.service.aconnect`."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        _deprecated("AsyncServiceClient", "aconnect()")
+        super().__init__(*args, **kwargs)

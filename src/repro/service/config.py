@@ -1,0 +1,103 @@
+"""One server configuration, shared by every way a server starts.
+
+``repro serve --socket``, ``repro cluster join``, and programmatic
+:class:`~repro.service.async_server.AsyncOptimizerServer` construction
+used to thread the same knobs (``--max-batch``, ``--hold-us``,
+``--auth-token``, ``--shed-queries``, ``--shed-bytes``, ...) as loose
+kwargs through three code paths.  :class:`ServerConfig` is the single
+frozen dataclass they all consume: validation lives here once, the CLI
+builds one with :meth:`ServerConfig.from_flags`, and
+``AsyncOptimizerServer(registry, config=cfg)`` applies it verbatim —
+so a cluster node is guaranteed to interpret the flags exactly as a
+standalone server would.
+
+>>> ServerConfig(max_batch=32).max_batch
+32
+>>> ServerConfig(shed_queries=0)
+Traceback (most recent call last):
+    ...
+ValueError: shed_queries must be >= 1, got 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.service.server import MAX_BATCH_QUERIES
+
+__all__ = ["ServerConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Every tunable of one optimizer server, validated at construction."""
+
+    #: preset assumed when a request names none
+    default_preset: str | None = None
+    #: micro-batcher flush size (cross-client coalescing high-water)
+    max_batch: int = 64
+    #: opt-in micro-batch hold window, microseconds (0 = end-of-turn)
+    hold_us: float = 0.0
+    #: per-request query-count cap
+    max_queries: int = MAX_BATCH_QUERIES
+    #: JSON line / binary frame payload cap, bytes
+    max_line_bytes: int = 1 << 20
+    #: per-connection cap on admitted-but-unwritten responses
+    max_pipeline: int = 1024
+    #: seconds a drain waits on a client that stopped reading
+    drain_timeout: float = 5.0
+    #: shared secret (binary HELLO / JSON ``{"op": "auth"}``)
+    auth_token: str | None = None
+    #: admission-control high-water marks (None = shedding off)
+    shed_queries: int | None = None
+    shed_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.hold_us < 0:
+            raise ValueError(f"hold_us must be >= 0, got {self.hold_us}")
+        if self.max_queries < 1:
+            raise ValueError(f"max_queries must be >= 1, got {self.max_queries}")
+        if self.max_line_bytes < 1:
+            raise ValueError(
+                f"max_line_bytes must be >= 1, got {self.max_line_bytes}"
+            )
+        if self.max_pipeline < 1:
+            raise ValueError(f"max_pipeline must be >= 1, got {self.max_pipeline}")
+        if self.drain_timeout < 0:
+            raise ValueError(
+                f"drain_timeout must be >= 0, got {self.drain_timeout}"
+            )
+        if self.shed_queries is not None and self.shed_queries < 1:
+            raise ValueError(
+                f"shed_queries must be >= 1, got {self.shed_queries}"
+            )
+        if self.shed_bytes is not None and self.shed_bytes < 1:
+            raise ValueError(f"shed_bytes must be >= 1, got {self.shed_bytes}")
+
+    def as_kwargs(self) -> dict[str, Any]:
+        """The exact keyword set ``AsyncOptimizerServer`` accepts."""
+        return asdict(self)
+
+    @classmethod
+    def from_flags(
+        cls, args: Any, *, default_preset: str | None = None
+    ) -> "ServerConfig":
+        """Build from an argparse namespace carrying the shared server
+        flags (``repro serve`` and ``repro cluster join`` both add them
+        via one parser helper; absent/None flags keep the defaults)."""
+
+        def flag(name: str, fallback: Any) -> Any:
+            value = getattr(args, name, None)
+            return fallback if value is None else value
+
+        return cls(
+            default_preset=default_preset,
+            max_batch=flag("max_batch", cls.max_batch),
+            hold_us=flag("hold_us", cls.hold_us),
+            auth_token=getattr(args, "auth_token", None),
+            shed_queries=getattr(args, "shed_queries", None),
+            shed_bytes=getattr(args, "shed_bytes", None),
+        )

@@ -52,6 +52,31 @@ Opcodes and payloads:
     Payload: UTF-8 message.  Admission control shed the matching
     ``OP_QUERY`` frame; nothing was resolved — retry after backoff.
 
+The shard-fabric control plane (:mod:`repro.fabric`) rides the same
+framing with its own opcode range (16+).  Control traffic is rare and
+schema-evolving, so every fabric payload is a UTF-8 JSON object
+(:func:`fabric_payload` / :func:`parse_fabric_payload`):
+
+``OP_JOIN`` / ``OP_JOIN_OK``
+    A node registers with the coordinator (node id, advertised
+    address, preset catalog, shard inventory); the answer carries the
+    routing epoch plus the heartbeat cadence and miss limit the
+    coordinator enforces.
+``OP_HEARTBEAT`` / ``OP_HEARTBEAT_OK``
+    Periodic node liveness plus a stats snapshot (shed counter, p99,
+    loaded tables); the answer echoes the current epoch and may carry
+    ``{"drain": true}`` to ask the node to drain and exit.
+``OP_ROUTES`` / ``OP_ROUTES_OK``
+    A client fetches the versioned routing table; the request may
+    carry the client's cached ``epoch`` and the answer is
+    ``{"unchanged": true}`` when that epoch is still current.
+``OP_STATUS`` / ``OP_STATUS_OK``
+    The full membership document — every node with state, last-seen
+    age, and latest stats (``repro cluster status``).
+``OP_DRAIN`` / ``OP_DRAIN_OK``
+    Administratively drain one node: it leaves the routing table at
+    the next epoch and is told to shut down on its next heartbeat.
+
 Every frame helper here is transport-agnostic bytes-in/bytes-out so
 the asyncio server, the blocking client, and the asyncio client share
 one codec; :exc:`WireError` carries a ``fatal`` flag separating
@@ -76,12 +101,22 @@ __all__ = [
     "HEADER",
     "HEADER_BYTES",
     "MAX_FRAME_BYTES",
+    "OP_DRAIN",
+    "OP_DRAIN_OK",
     "OP_ERROR",
+    "OP_HEARTBEAT",
+    "OP_HEARTBEAT_OK",
     "OP_HELLO",
     "OP_HELLO_OK",
+    "OP_JOIN",
+    "OP_JOIN_OK",
     "OP_QUERY",
     "OP_RESULT",
     "OP_RETRY_LATER",
+    "OP_ROUTES",
+    "OP_ROUTES_OK",
+    "OP_STATUS",
+    "OP_STATUS_OK",
     "QUERY_DTYPE",
     "SOURCE_CODES",
     "SOURCE_NAMES",
@@ -93,10 +128,12 @@ __all__ = [
     "encode_query_records",
     "encode_results",
     "error_frame",
+    "fabric_payload",
     "hello_ok_payload",
     "hello_payload",
     "make_query_records",
     "pack_frame",
+    "parse_fabric_payload",
     "parse_header",
     "parse_hello",
     "parse_hello_ok",
@@ -122,6 +159,18 @@ OP_QUERY = 3
 OP_RESULT = 4
 OP_ERROR = 5
 OP_RETRY_LATER = 6
+
+# -- shard-fabric control plane (16+; JSON payloads, see module doc) --
+OP_JOIN = 16
+OP_JOIN_OK = 17
+OP_HEARTBEAT = 18
+OP_HEARTBEAT_OK = 19
+OP_ROUTES = 20
+OP_ROUTES_OK = 21
+OP_STATUS = 22
+OP_STATUS_OK = 23
+OP_DRAIN = 24
+OP_DRAIN_OK = 25
 
 #: one packed query: catalog index, cube dimension, block size
 QUERY_DTYPE = np.dtype([("preset", "<u2"), ("d", "<u2"), ("m", "<f8")])
@@ -271,6 +320,29 @@ def parse_hello_ok(payload: bytes) -> dict:
         raise WireError(f"malformed HELLO_OK payload: {exc}") from None
     if not isinstance(obj, dict) or not isinstance(obj.get("presets"), list):
         raise WireError("malformed HELLO_OK payload: no preset catalog")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# fabric control-plane payloads (rare, schema-evolving -> JSON objects)
+# ----------------------------------------------------------------------
+def fabric_payload(doc: dict) -> bytes:
+    """The payload for any fabric control-plane frame (OP_JOIN etc.)."""
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+
+
+def parse_fabric_payload(payload: bytes) -> dict:
+    """The JSON object inside a fabric control-plane frame.
+
+    Raises :exc:`WireError` (non-fatal — framing is intact) when the
+    payload is not a JSON object.
+    """
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed fabric payload: {exc}") from None
+    if not isinstance(obj, dict):
+        raise WireError("malformed fabric payload: expected a JSON object")
     return obj
 
 

@@ -1,0 +1,1 @@
+"""Tests for the shard fabric (coordinator, ring, cluster clients)."""

@@ -1,0 +1,158 @@
+"""Property tests for the consistent-hash ring and routing table.
+
+The two load-bearing claims of consistent hashing are checked exactly,
+not statistically, where possible: a leave only moves keys whose
+primary was the leaver; a join only moves keys onto the joiner.  The
+statistical claim (how *many* keys move) is bounded against the
+1/k / 1/(k+1) expectation with generous slack.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.ring import DEFAULT_VNODES, HashRing, moved_fraction, shard_key
+from repro.fabric.routing import RoutingTable
+
+#: a key population big enough for the moved-fraction bounds to hold
+KEYS = [shard_key(preset, d) for preset in ("ipsc860", "hypothetical") for d in range(1, 11)]
+KEYS += [f"key-{i}" for i in range(4000)]
+
+node_names = st.lists(
+    st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8),
+    min_size=1, max_size=8, unique=True,
+)
+
+
+class TestHashRing:
+    def test_vnode_count(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring._points) == 2 * DEFAULT_VNODES
+
+    def test_rejects_bad_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing(["a"], vnodes=0)
+
+    def test_empty_ring(self):
+        ring = HashRing([])
+        assert not ring
+        assert ring.replicas("anything", 2) == ()
+        with pytest.raises(ValueError):
+            ring.primary("anything")
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ValueError):
+            HashRing(["a"]).replicas("k", 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(nodes=node_names, key=st.text(min_size=1, max_size=20), n=st.integers(1, 5))
+    def test_replicas_distinct_and_known(self, nodes, key, n):
+        ring = HashRing(nodes)
+        replicas = ring.replicas(key, n)
+        assert len(replicas) == min(n, len(nodes))
+        assert len(set(replicas)) == len(replicas)
+        assert set(replicas) <= set(nodes)
+        assert ring.primary(key) == replicas[0]
+
+    @settings(max_examples=25, deadline=None)
+    @given(nodes=node_names, key=st.text(min_size=1, max_size=20))
+    def test_placement_is_deterministic(self, nodes, key):
+        assert HashRing(nodes).replicas(key, 2) == HashRing(nodes).replicas(key, 2)
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        """Exact property: removing node X changes a key's primary iff
+        the primary *was* X."""
+        nodes = [f"n{i}" for i in range(6)]
+        before = HashRing(nodes)
+        after = HashRing(nodes[:-1])
+        leaver = nodes[-1]
+        for key in KEYS:
+            if before.primary(key) == leaver:
+                assert after.primary(key) != leaver
+            else:
+                assert after.primary(key) == before.primary(key)
+
+    def test_join_moves_keys_only_onto_the_joiner(self):
+        """Exact property: adding node X changes a key's primary only
+        by claiming it *for* X."""
+        nodes = [f"n{i}" for i in range(5)]
+        before = HashRing(nodes)
+        after = HashRing(nodes + ["newcomer"])
+        for key in KEYS:
+            if after.primary(key) != before.primary(key):
+                assert after.primary(key) == "newcomer"
+
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_join_moved_fraction_near_expectation(self, k):
+        nodes = [f"node-{i}" for i in range(k)]
+        before = HashRing(nodes)
+        after = HashRing(nodes + ["joiner"])
+        moved = moved_fraction(before, after, KEYS)
+        expected = 1.0 / (k + 1)
+        assert 0.0 < moved <= 2.0 * expected
+
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_leave_moved_fraction_near_expectation(self, k):
+        nodes = [f"node-{i}" for i in range(k)]
+        before = HashRing(nodes)
+        after = HashRing(nodes[:-1])
+        moved = moved_fraction(before, after, KEYS)
+        expected = 1.0 / k
+        assert 0.0 < moved <= 2.0 * expected
+
+    def test_moved_fraction_empty_keys(self):
+        ring = HashRing(["a"])
+        assert moved_fraction(ring, ring, []) == 0.0
+
+    def test_load_spreads_across_nodes(self):
+        ring = HashRing([f"n{i}" for i in range(4)])
+        owners = {ring.primary(key) for key in KEYS[:200]}
+        assert len(owners) == 4  # every node owns *something*
+
+
+class TestRoutingTable:
+    def _table(self, epoch=3, replication=2):
+        return RoutingTable(
+            epoch=epoch,
+            replication=replication,
+            nodes=(("n0", "127.0.0.1:1"), ("n1", "127.0.0.1:2"), ("n2", "127.0.0.1:3")),
+            presets=("ipsc860",),
+            default_preset="ipsc860",
+        )
+
+    def test_replicas_for_distinct_addresses(self):
+        table = self._table()
+        for d in range(1, 11):
+            replicas = table.replicas_for("ipsc860", d)
+            assert len(replicas) == 2
+            assert len(set(replicas)) == 2
+            assert set(replicas) <= {"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"}
+
+    def test_roundtrips_through_dict(self):
+        table = self._table()
+        clone = RoutingTable.from_dict(table.as_dict())
+        assert clone == table
+        assert clone.replicas_for("ipsc860", 7) == table.replicas_for("ipsc860", 7)
+
+    def test_rejects_replication_below_one(self):
+        with pytest.raises(ValueError):
+            self._table(replication=0)
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            {},
+            {"epoch": 1},
+            {"epoch": 1, "replication": 2, "nodes": "not-a-list"},
+            {"epoch": "x", "replication": 2, "nodes": []},
+        ],
+    )
+    def test_from_dict_rejects_malformed(self, doc):
+        with pytest.raises(ValueError):
+            RoutingTable.from_dict(doc)
+
+    def test_empty_table_routes_nowhere(self):
+        table = RoutingTable(epoch=1, replication=2, nodes=())
+        assert table.replicas_for("ipsc860", 7) == ()

@@ -23,7 +23,7 @@ class TestPublicSurface:
         for module_name in (
             "repro.core", "repro.model", "repro.hypercube", "repro.sim",
             "repro.comm", "repro.analysis", "repro.apps", "repro.util",
-            "repro.service", "repro.plan", "repro.patterns",
+            "repro.service", "repro.plan", "repro.patterns", "repro.fabric",
         ):
             module = importlib.import_module(module_name)
             for name in module.__all__:
@@ -65,6 +65,8 @@ DOCTEST_MODULES = [
     "repro.service.registry",
     "repro.service.batch",
     "repro.service.server",
+    "repro.service.config",
+    "repro.fabric.ring",
     "repro.sim.machine",
     "repro.sim.fastpath",
     "repro.comm.program",
