@@ -147,6 +147,11 @@ class TestMain:
             "apps_fastpath",
             "wire_protocol",
             "cluster_scaleout",
+            "chaos",
         }
         for metrics in doc["benchmarks"].values():
-            assert all(value > 1.0 for value in metrics.values())
+            for metric, value in metrics.items():
+                # speedup floors promise a win (> 1); other gated
+                # ratios (e.g. chaos degraded-throughput) only promise
+                # a positive fraction of a reference
+                assert value > (1.0 if metric == "speedup" else 0.0)

@@ -60,8 +60,23 @@ __all__ = [
     "ENGINES",
     "PlanValidationReport",
     "ValidationRow",
+    "rel_drift",
     "validate_policy",
 ]
+
+
+def rel_drift(predicted: float | None, simulated: float) -> float | None:
+    """Relative drift ``|simulated - predicted| / predicted``.
+
+    The single definition of "how far did reality stray from the
+    model": validation rows report it as ``rel_error``, and
+    :class:`~repro.plan.policies.AdaptivePolicy` thresholds on it to
+    decide when to re-plan.  ``None`` when the decision has no positive
+    analytic prediction to drift from.
+    """
+    if predicted is None or predicted <= 0:
+        return None
+    return abs(simulated - predicted) / predicted
 
 
 # ----------------------------------------------------------------------
@@ -254,11 +269,7 @@ def _append_row(
     predicted: float | None,
     simulated: float,
 ) -> None:
-    rel = (
-        abs(simulated - predicted) / predicted
-        if predicted is not None and predicted > 0
-        else None
-    )
+    rel = rel_drift(predicted, simulated)
     report.rows.append(
         ValidationRow(
             app=app, d=d, m=m, algorithm=algorithm, partition=partition,
@@ -275,6 +286,7 @@ def validate_policy(
     engine: str = "fast",
     pattern_configs: Sequence[tuple[int, float]] | None = None,
     traffic_configs: Sequence[tuple[int, float, float]] | None = None,
+    fault_plan=None,
 ) -> PlanValidationReport:
     """Run the app workloads under ``policy`` and price every decision.
 
@@ -299,11 +311,29 @@ def validate_policy(
     grids; pass ``()`` to validate apps only.  The report's
     ``engine_boots`` records how many event engines were booted — 0 on
     ``engine="fast"``.
+
+    A ``fault_plan`` (:class:`repro.sim.faults.FaultPlan`) degrades the
+    machine the exchange decisions replay on, producing the drift rows
+    (``rel_error``) the adaptive policy thresholds on.  Only the event
+    engine understands faults, so a non-empty plan requires
+    ``engine="event"`` and an empty pattern grid (pattern replays have
+    no fault path).
     """
     from repro.sim.engine import Engine
 
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if fault_plan is not None and not fault_plan.is_empty:
+        if engine != "event":
+            raise ValueError(
+                "fault plans require engine='event'; the fast path models "
+                "the uniform machine only"
+            )
+        if pattern_configs is None or len(tuple(pattern_configs)) > 0:
+            raise ValueError(
+                "fault plans require pattern_configs=(); pattern replays "
+                "have no degraded-machine path"
+            )
     p = params if params is not None else PRESETS["ipsc860"]()
     pol = policy if policy is not None else FixedPolicy(params=p)
     names = list(apps) if apps is not None else list(APP_WORKLOADS)
@@ -321,7 +351,7 @@ def validate_policy(
     def replay_exchange(app: str, decision: PlanDecision) -> None:
         result = simulate_planned_exchange(
             decision.d, int(decision.m), CollectivePlanner(_ReplayPolicy(decision)), p,
-            fast=(engine == "fast"),
+            fast=(engine == "fast"), fault_plan=fault_plan,
         )
         report.n_trace_decisions += len(result.trace.plan_decisions)
         _append_row(

@@ -57,6 +57,12 @@ Commands
     :mod:`repro.check.rules` over the source tree.  With neither flag,
     both run.  Exit status 1 on any violation; ``--json`` emits the
     machine-readable report.
+``chaos``
+    Sweep failure rate × straggler severity × planning policy over a
+    multi-step exchange workload on seeded degraded machines
+    (:mod:`repro.analysis.chaos`): per-cell completion time, retry
+    counts, and plan-switch counts, byte-verified.  ``--json`` emits
+    the machine-readable report; the same seed always reproduces it.
 ``demo``
     A one-minute tour: three algorithms, optimizer, simulation.
 
@@ -386,6 +392,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit the machine-readable CheckReport document",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="sweep failure rate x straggler severity x policy on "
+        "seeded degraded machines",
+    )
+    p_chaos.add_argument("--d", type=int, default=3, help="cube dimension (default: 3)")
+    p_chaos.add_argument(
+        "--m", type=int, default=8, help="block size in bytes (default: 8)"
+    )
+    p_chaos.add_argument(
+        "--steps", type=int, default=6,
+        help="exchanges per cell workload (default: 6)",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-plan seed; identical seeds reproduce the sweep exactly",
+    )
+    p_chaos.add_argument(
+        "--failure-rates", type=float, nargs="+", metavar="RATE",
+        default=(0.0, 0.25), help="per-wire outage probabilities (default: 0 0.25)",
+    )
+    p_chaos.add_argument(
+        "--stragglers", type=float, nargs="+", metavar="SCALE",
+        default=(1.0, 8.0),
+        help="straggler compute-slowdown severities; 1.0 = none "
+        "(default: 1 8)",
+    )
+    p_chaos.add_argument(
+        "--policies", nargs="+", metavar="POLICY",
+        default=("fixed", "adaptive"), choices=("fixed", "adaptive", "model"),
+        help="planning policies to race (default: fixed adaptive)",
+    )
+    p_chaos.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="adaptive policy's re-plan drift threshold (default: 0.25)",
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
     )
 
     sub.add_parser("demo", help="one-minute guided tour")
@@ -975,6 +1021,31 @@ def cmd_apps(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.analysis.chaos import chaos_sweep
+
+    params = _params(args.machine)
+    try:
+        report = chaos_sweep(
+            args.d,
+            args.m,
+            n_steps=args.steps,
+            seed=args.seed,
+            failure_rates=tuple(args.failure_rates),
+            straggler_scales=tuple(args.stragglers),
+            policies=tuple(args.policies),
+            threshold=args.threshold,
+            params=params,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(report.as_dict()))
+    else:
+        print(report.render())
+    return 0
+
+
 def cmd_demo(args) -> int:
     params = _params(args.machine)
     d, m = 7, 40
@@ -1034,6 +1105,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "plan": cmd_plan,
         "apps": cmd_apps,
         "validate": cmd_apps,
+        "chaos": cmd_chaos,
         "check": cmd_check,
         "demo": cmd_demo,
     }[args.command]

@@ -51,6 +51,16 @@ __all__ = [
 ]
 
 
+def _check_fault_plan_engine(fault_plan, fast: bool) -> None:
+    """The lockstep fast path models the uniform machine only; pricing
+    a degraded machine there would silently ignore the plan."""
+    if fast and fault_plan is not None and not fault_plan.is_empty:
+        raise ValueError(
+            "fault plans require the event engine: pass fast=False "
+            "(the fast path assumes a uniform, failure-free machine)"
+        )
+
+
 def exchange_program(
     ctx: NodeContext,
     *,
@@ -147,6 +157,7 @@ def simulate_exchange(
     engine: str = "tags",
     verify: bool = True,
     fast: bool = False,
+    fault_plan=None,
 ) -> SimulatedExchange:
     """Run one complete exchange on a fresh simulated machine.
 
@@ -159,6 +170,11 @@ def simulate_exchange(
     orders of magnitude cheaper, but no data moves (``verify`` is
     ignored; there are no buffers to check).
 
+    A ``fault_plan`` (:class:`repro.sim.faults.FaultPlan`) degrades the
+    machine; only the event engine understands one — the lockstep fast
+    path assumes the uniform machine, so ``fast=True`` with a non-empty
+    plan raises.
+
     >>> from repro.model.params import ipsc860
     >>> result = simulate_exchange(3, 16, (2, 1), ipsc860())
     >>> result.time_us > 0
@@ -168,6 +184,7 @@ def simulate_exchange(
     """
     check_dimension(d, minimum=1)
     parts = check_partition(partition if partition is not None else (d,), d)
+    _check_fault_plan_engine(fault_plan, fast)
     if fast:
         from repro.sim.fastpath import exchange_timeline
 
@@ -183,7 +200,7 @@ def simulate_exchange(
             timeline=timeline,
         )
     steps = multiphase_schedule(d, parts)
-    machine = SimulatedHypercube(d, params)
+    machine = SimulatedHypercube(d, params, fault_plan=fault_plan)
     run = machine.run(exchange_program, steps=steps, m=m, engine=engine)
     result = SimulatedExchange(
         d=d,
@@ -208,6 +225,7 @@ def simulate_planned_exchange(
     engine: str = "tags",
     verify: bool = True,
     fast: bool = False,
+    fault_plan=None,
 ) -> SimulatedExchange:
     """Run one complete exchange with the algorithm chosen by a planner.
 
@@ -234,6 +252,7 @@ def simulate_planned_exchange(
     1
     """
     check_dimension(d, minimum=1)
+    _check_fault_plan_engine(fault_plan, fast)
     decision = planner.decide(d, m)
     if fast:
         from repro.sim.fastpath import exchange_timeline, naive_exchange_time
@@ -259,7 +278,7 @@ def simulate_planned_exchange(
             decision=decision,
             timeline=timeline,
         )
-    machine = SimulatedHypercube(d, params)
+    machine = SimulatedHypercube(d, params, fault_plan=fault_plan)
     machine.trace.record_plan(PlanRecord.from_decision(decision))
     if decision.algorithm == "naive":
         run = machine.run(naive_program, m=m)

@@ -6,6 +6,7 @@ the §6 enumeration that picks the best partition for a block size.
 
 from repro.model.cost import (
     PhaseCost,
+    degraded_multiphase_time,
     multiphase_time,
     optimal_time,
     phase_breakdown,
@@ -65,6 +66,7 @@ __all__ = [
     "best_partition",
     "best_partitions",
     "crossover_block_size",
+    "degraded_multiphase_time",
     "empirical_crossover",
     "empirical_crossovers",
     "evaluate_partitions",

@@ -38,6 +38,7 @@ from repro.util.validation import check_block_size, check_dimension, check_parti
 
 __all__ = [
     "PhaseCost",
+    "degraded_multiphase_time",
     "multiphase_time",
     "optimal_time",
     "phase_cost",
@@ -163,6 +164,60 @@ def multiphase_time(
     parts = check_partition(partition, d)
     k = len(parts)
     return sum(phase_cost(m, di, d, params, n_phases=k).total for di in parts)
+
+
+def degraded_multiphase_time(
+    m: float,
+    d: int,
+    partition: Sequence[int],
+    params: MachineParams,
+    fault_plan=None,
+) -> float:
+    """Eq. (3) with per-phase penalty terms for a degraded machine.
+
+    Prices the *expected* slowdown a :class:`repro.sim.faults.FaultPlan`
+    inflicts on each partial exchange, without running the simulator:
+
+    * the startup (λ_x) share of every transmission scales by the
+      plan's mean latency scale, the per-byte (τ) share by its mean
+      bandwidth scale — an exchange meets a uniformly random set of
+      links over the schedule, so the link-population mean is the
+      expected per-transfer factor;
+    * the shuffle pass scales by the *worst* straggler's compute scale:
+      phases are barrier-synchronized, so every phase waits for the
+      slowest node's permutation;
+    * each transmission adds the plan's expected outage stall
+      (scheduled downtime spread over the link population, halved for
+      the uniform arrival inside a window).
+
+    With ``fault_plan=None`` (or an empty plan) this returns exactly
+    ``multiphase_time(m, d, partition, params)`` — the fault-free model
+    is the degenerate case, which the zero-overhead benchmark pins.
+    """
+    parts = check_partition(partition, d)
+    if fault_plan is None or fault_plan.is_empty:
+        return multiphase_time(m, d, parts, params)
+    lat_scale = fault_plan.mean_latency_scale()
+    bw_scale = fault_plan.mean_bandwidth_scale()
+    compute_scale = fault_plan.max_compute_scale()
+    stall = fault_plan.expected_stall_us()
+    k = len(parts)
+    total = 0.0
+    for di in parts:
+        cost = phase_cost(m, di, d, params, n_phases=k)
+        n_tx = (1 << di) - 1
+        transmission = n_tx * (
+            params.exchange_latency * lat_scale
+            + params.byte_time * bw_scale * cost.effective_block
+        )
+        total += (
+            transmission
+            + cost.distance
+            + cost.shuffle * compute_scale
+            + cost.global_sync
+            + n_tx * stall
+        )
+    return total
 
 
 def phase_breakdown(

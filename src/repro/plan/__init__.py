@@ -22,7 +22,14 @@ holds one pluggable policy:
 :class:`~repro.plan.policies.TrafficPolicy`
     partition choice for non-uniform loads, priced on the batched
     traffic grid (:mod:`repro.core.traffic`) with a simulator-backed
-    prediction from the compiled fast path.
+    prediction from the compiled fast path;
+:class:`~repro.plan.policies.AdaptivePolicy`
+    model-optimal planning with a drift-triggered slowdown
+    calibration: observed completion times that stray past a threshold
+    from predictions re-plan the next collective against the machine
+    as measured (optionally seeded with a
+    :class:`~repro.sim.faults.FaultPlan` priced by
+    :func:`~repro.model.cost.degraded_multiphase_time`).
 
 Every layer that performs a collective routes through the planner:
 ``Communicator.Alltoall`` and the simulated exchange programs, all
@@ -37,6 +44,7 @@ from repro.plan.decision import ALGORITHMS, PlanDecision, algorithm_name, format
 from repro.plan.patterns import PATTERNS, PatternDecision, pattern_candidates, plan_pattern
 from repro.plan.planner import CollectivePlanner, PlannerStats
 from repro.plan.policies import (
+    AdaptivePolicy,
     ContentionPolicy,
     FixedPolicy,
     ModelPolicy,
@@ -48,6 +56,7 @@ from repro.plan.policies import (
 
 __all__ = [
     "ALGORITHMS",
+    "AdaptivePolicy",
     "CollectivePlanner",
     "ContentionPolicy",
     "FixedPolicy",

@@ -45,6 +45,7 @@ from repro.plan.decision import PlanDecision, algorithm_name
 from repro.util.validation import check_block_size, check_dimension, check_partition
 
 __all__ = [
+    "AdaptivePolicy",
     "ContentionPolicy",
     "FixedPolicy",
     "ModelPolicy",
@@ -236,6 +237,120 @@ class TrafficPolicy:
         )
 
 
+class AdaptivePolicy:
+    """Model-optimal planning that re-plans when reality drifts.
+
+    Starts from the clean model optimum and keeps a running *slowdown
+    calibration* ``s``: every candidate is priced with the per-byte
+    (τ) and permutation (ρ) constants scaled by ``s`` — the two shares
+    degraded links and straggler nodes actually inflate (startup and
+    switch time are machine-internal).  After each collective the
+    caller feeds the observed completion time to :meth:`observe`; when
+    the relative drift ``|observed - predicted| / predicted`` (the
+    same quantity :func:`repro.analysis.validation.rel_drift` puts in
+    validation rows) exceeds ``threshold``, the calibration absorbs
+    the observed ratio and the *next* ``decide`` re-plans against the
+    machine as measured, not as specified.
+
+    Why recalibrating τ/ρ changes the plan: a multiphase partition
+    trades fewer transmissions against more byte volume and a shuffle
+    pass per phase.  As ``s`` grows the byte/shuffle shares dominate
+    and the argmin slides toward the single-phase ``(d,)`` schedule —
+    minimal bytes, no shuffles — which is exactly the right call on a
+    machine whose stragglers tax every permutation pass.
+
+    An optional ``fault_plan`` gives the policy an *a-priori* machine
+    model: candidates are then priced with
+    :func:`repro.model.cost.degraded_multiphase_time` (the declared
+    expected slowdown) instead of the clean model, and drift
+    calibration refines from there.
+
+    >>> from repro.model.params import ipsc860
+    >>> policy = AdaptivePolicy(ipsc860())
+    >>> decision = policy.decide(7, 40.0)
+    >>> decision.partition
+    (4, 3)
+    >>> policy.observe(decision, decision.predicted_us * 1.05)  # within threshold
+    False
+    >>> policy.observe(decision, decision.predicted_us * 4.0)
+    True
+    >>> policy.decide(7, 40.0).partition  # re-planned for the slow machine
+    (7,)
+    """
+
+    #: calibration never collapses below this (a near-zero slowdown
+    #: would make every candidate free and the argmin meaningless)
+    MIN_SLOWDOWN = 0.05
+
+    def __init__(
+        self,
+        params: MachineParams,
+        *,
+        threshold: float = 0.25,
+        candidates: Iterable[tuple[int, ...]] | None = None,
+        fault_plan=None,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError(f"drift threshold must be > 0, got {threshold}")
+        self.params = params
+        self.threshold = float(threshold)
+        self.candidates = tuple(candidates) if candidates is not None else None
+        self.fault_plan = fault_plan
+        #: running slowdown calibration applied to τ and ρ
+        self.slowdown = 1.0
+        #: number of drift-triggered recalibrations so far
+        self.replans = 0
+        self.name = "adaptive"
+
+    def _calibrated_params(self) -> MachineParams:
+        # exact sentinel: slowdown starts at exactly 1.0 and the branch
+        # only skips building an identical params copy
+        if self.slowdown == 1.0:  # repro: allow[float-eq]
+            return self.params
+        return self.params.with_overrides(
+            byte_time=self.params.byte_time * self.slowdown,
+            permute_time=self.params.permute_time * self.slowdown,
+        )
+
+    def decide(self, d: int, m: float) -> PlanDecision:
+        check_dimension(d, minimum=1)
+        m = check_block_size(m)
+        params = self._calibrated_params()
+        if self.fault_plan is not None and not self.fault_plan.is_empty:
+            from repro.core.partitions import cached_partitions
+            from repro.model.cost import degraded_multiphase_time
+
+            pool = self.candidates if self.candidates is not None else cached_partitions(d)
+            scored = [
+                (degraded_multiphase_time(m, d, p, params, self.fault_plan), p)
+                for p in pool
+            ]
+            predicted, partition = min(scored, key=lambda item: (item[0], item[1]))
+            return PlanDecision(
+                d=d, m=m, algorithm=algorithm_name(partition), partition=partition,
+                predicted_us=predicted, policy=self.name, source="degraded-model",
+            )
+        choice = best_partition(m, d, params, candidates=self.candidates)
+        return PlanDecision(
+            d=d, m=float(choice.m), algorithm=algorithm_name(choice.partition),
+            partition=choice.partition, predicted_us=choice.time, policy=self.name,
+            ranking=choice.ranking,
+        )
+
+    def observe(self, decision: PlanDecision, observed_us: float) -> bool:
+        """Feed back one observed completion; True if it triggered a
+        recalibration (the next ``decide`` may change its answer)."""
+        from repro.analysis.validation import rel_drift
+
+        predicted = decision.predicted_us
+        drift = rel_drift(predicted, observed_us)
+        if drift is None or drift <= self.threshold:
+            return False
+        self.slowdown = max(self.MIN_SLOWDOWN, self.slowdown * (observed_us / predicted))
+        self.replans += 1
+        return True
+
+
 class ServicePolicy:
     """Answer from an in-process optimizer query service.
 
@@ -280,10 +395,12 @@ def make_policy(
     """Build one of the named policies (CLI/bench convenience).
 
     ``name`` is ``"fixed"``, ``"model"``, ``"service"``,
-    ``"contention"``, or ``"traffic"``; the fixed policy honours
-    ``partition``/``naive``, the service policy uses ``registry`` (a
-    fresh in-process one when omitted) under ``preset``, the traffic
-    policy plans for the default hotspot skew.
+    ``"contention"``, ``"traffic"``, or ``"adaptive"``; the fixed
+    policy honours ``partition``/``naive``, the service policy uses
+    ``registry`` (a fresh in-process one when omitted) under
+    ``preset``, the traffic policy plans for the default hotspot skew,
+    the adaptive policy starts model-optimal with the default drift
+    threshold.
     """
     if name == "fixed":
         return FixedPolicy(partition, naive=naive, params=params)
@@ -295,7 +412,9 @@ def make_policy(
         return ContentionPolicy(params)
     if name == "traffic":
         return TrafficPolicy(params)
+    if name == "adaptive":
+        return AdaptivePolicy(params)
     raise ValueError(
         f"unknown policy {name!r}; expected 'fixed', 'model', 'service', "
-        f"'contention', or 'traffic'"
+        f"'contention', 'traffic', or 'adaptive'"
     )

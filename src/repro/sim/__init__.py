@@ -31,18 +31,35 @@ from repro.sim.fastpath import (
     program_timeline,
     program_times,
 )
+from repro.sim.faults import (
+    CrossTraffic,
+    FaultPlan,
+    LinkDegradation,
+    LinkOutage,
+    Straggler,
+)
 from repro.sim.machine import RunResult, SimulatedHypercube
 from repro.sim.network import Grant, Network
 from repro.sim.node import NodeContext
-from repro.sim.trace import BarrierRecord, ShuffleRecord, Trace, TransmissionRecord
+from repro.sim.trace import (
+    BarrierRecord,
+    RetryRecord,
+    ShuffleRecord,
+    Trace,
+    TransmissionRecord,
+)
 
 __all__ = [
     "BarrierRecord",
     "CompiledProgram",
     "CompiledSchedule",
+    "CrossTraffic",
     "Delay",
     "Engine",
+    "FaultPlan",
     "Grant",
+    "LinkDegradation",
+    "LinkOutage",
     "NaiveContentionSummary",
     "NaiveSend",
     "NaiveTimeline",
@@ -51,11 +68,13 @@ __all__ = [
     "Process",
     "ProgramTimeline",
     "Request",
+    "RetryRecord",
     "RunResult",
     "ScheduleTimeline",
     "ShuffleRecord",
     "SimulatedHypercube",
     "SimulationError",
+    "Straggler",
     "Trace",
     "TransmissionRecord",
     "batch_exchange_times",

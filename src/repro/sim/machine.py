@@ -25,7 +25,8 @@ from typing import Any, Callable, Generator
 
 from repro.hypercube.topology import Hypercube
 from repro.model.params import MachineParams
-from repro.sim.engine import Engine, Process, Request, SimulationError
+from repro.sim.engine import Delay, Engine, Process, Request, SimulationError
+from repro.sim.faults import CrossTraffic, FaultPlan
 from repro.sim.node import (
     BarrierReq,
     ExchangeReq,
@@ -75,15 +76,31 @@ class SimulatedHypercube:
         situation "fatal".  When False the message is silently dropped
         and recorded in the trace (useful for demonstrating *why* the
         global synchronization is required).
+    fault_plan:
+        Optional :class:`~repro.sim.faults.FaultPlan` the machine obeys
+        natively: degraded links scale transfer times, stragglers scale
+        local compute (delays and shuffles), scheduled outages make
+        senders block-and-retry, and cross-traffic flows run as
+        background processes stealing link time.  ``None`` (default)
+        keeps every code path identical to the fault-free machine.
     """
 
-    def __init__(self, d: int, params: MachineParams, *, strict_forced: bool = True) -> None:
+    def __init__(
+        self,
+        d: int,
+        params: MachineParams,
+        *,
+        strict_forced: bool = True,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.cube = Hypercube(d)
         self.params = params
         self.strict_forced = strict_forced
+        self.fault_plan = fault_plan
         self.engine = Engine()
         self.trace = Trace()
-        self.network = Network(self.cube, params, self.trace)
+        self.network = Network(self.cube, params, self.trace, fault_plan=fault_plan)
+        self._cross_spawned = False
         self.contexts = [NodeContext(self, rank) for rank in self.cube.nodes()]
         # pairwise-exchange rendezvous: (a, b, tag) -> (request,
         # process, wait token at registration)
@@ -103,13 +120,59 @@ class SimulatedHypercube:
         for ctx in self.contexts:
             generator = program(ctx, **kwargs) if kwargs else program(ctx)
             processes.append(self.engine.spawn(generator, name=f"node{ctx.rank}"))
+        self._spawn_cross_traffic()
         time = self.engine.run()
+        extras: dict[str, Any] = {}
+        if self.fault_plan is not None and self.fault_plan.cross_traffic:
+            # background flows may drain after the workload; completion
+            # is when the *node programs* finished, not when the last
+            # cross-traffic message left the wire
+            extras["engine_time"] = time
+            time = max((p.end_time or 0.0) for p in processes)
         return RunResult(
             time=time,
             node_results=[p.result for p in processes],
             trace=self.trace,
             n_events=self.engine.n_events,
+            extras=extras,
         )
+
+    # ------------------------------------------------------------------
+    # fault-plan hooks
+    # ------------------------------------------------------------------
+    def compute_scale(self, rank: int) -> float:
+        """Straggler compute-slowdown multiplier of ``rank`` (1.0
+        without a fault plan)."""
+        if self.fault_plan is None:
+            return 1.0
+        return self.fault_plan.compute_scale(rank)
+
+    def _spawn_cross_traffic(self) -> None:
+        """Boot one background process per declared cross-traffic flow
+        (once per machine; flows use absolute emission times, so later
+        ``run()`` calls on the same machine don't respawn them)."""
+        plan = self.fault_plan
+        if plan is None or self._cross_spawned or not plan.cross_traffic:
+            return
+        self._cross_spawned = True
+        for index, flow in enumerate(plan.cross_traffic):
+            self.engine.spawn(
+                self._cross_traffic_program(flow), name=f"cross{index}"
+            )
+
+    def _cross_traffic_program(self, flow: CrossTraffic) -> Generator:
+        """Fire-and-forget background sender: reserve the e-cube
+        circuit for each scheduled payload, stealing link time from the
+        workload without participating in it.  Emissions already in the
+        past (machine booted late) fire immediately, keeping the flow
+        bounded so the engine's deadlock check stays meaningful."""
+        for t_emit in flow.emission_times():
+            now = self.engine.now
+            if t_emit > now:
+                yield Delay(t_emit - now)
+            self.network.start_cross_message(
+                self.engine.now, flow.src, flow.dst, flow.nbytes
+            )
 
     # ------------------------------------------------------------------
     # request dispatch (called by _MachineRequest.activate)
@@ -238,7 +301,9 @@ class SimulatedHypercube:
             self.engine.at(release, proc.resume_callback(None, token=token))
 
     def _do_shuffle(self, request: ShuffleReq, process: Process) -> None:
-        duration = self.params.shuffle_time(request.nbytes)
+        duration = self.params.shuffle_time(request.nbytes) * self.compute_scale(
+            request.ctx.rank
+        )
         start = self.engine.now
         self.trace.record_shuffle(
             ShuffleRecord(

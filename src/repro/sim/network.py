@@ -33,7 +33,8 @@ from dataclasses import dataclass
 from repro.hypercube.routing import ecube_hops, ecube_path_edges
 from repro.hypercube.topology import Hypercube, Link
 from repro.model.params import MachineParams
-from repro.sim.trace import Trace, TransmissionRecord
+from repro.sim.faults import MAX_RETRY_ATTEMPTS, FaultPlan
+from repro.sim.trace import RetryRecord, Trace, TransmissionRecord
 
 __all__ = ["Network", "Grant"]
 
@@ -49,10 +50,26 @@ class Grant:
 class Network:
     """Link bookkeeping plus the transfer-time model."""
 
-    def __init__(self, cube: Hypercube, params: MachineParams, trace: Trace) -> None:
+    def __init__(
+        self,
+        cube: Hypercube,
+        params: MachineParams,
+        trace: Trace,
+        *,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.cube = cube
         self.params = params
         self.trace = trace
+        if fault_plan is not None and fault_plan.d != cube.dimension:
+            raise ValueError(
+                f"fault plan is for a {fault_plan.d}-cube, machine is a "
+                f"{cube.dimension}-cube"
+            )
+        #: fault-injection schedule; ``None`` keeps every code path
+        #: byte-identical to the fault-free network (the zero-overhead
+        #: benchmark pins this)
+        self.fault_plan = fault_plan
         #: next-free times of reservable resources: directed links plus
         #: per-node ports (keyed ("port", node))
         self._free_at: dict[object, float] = {}
@@ -63,18 +80,37 @@ class Network:
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------
+    def _validate_link(self, link: Link) -> None:
+        """Reject links whose endpoints fall outside this cube.
+
+        ``Link`` only checks adjacency, so e.g. ``Link(8, 9)`` is a
+        perfectly valid link object — of some *larger* cube.  Accepting
+        it here would silently no-op the injected fault."""
+        if not (self.cube.contains(link.src) and self.cube.contains(link.dst)):
+            raise ValueError(
+                f"link {link} does not exist in a {self.cube.dimension}-cube "
+                f"(nodes 0..{self.cube.n_nodes - 1})"
+            )
+
     def fail_link(self, link: Link, *, both_directions: bool = True) -> None:
         """Mark a link as failed.  e-cube routing is fixed, so circuits
         through a failed link cannot be re-routed; attempting one raises
         :class:`~repro.sim.engine.SimulationError` (the run's failure
         is the observable — hypercubes of this era had no adaptive
-        fallback).  Used by the failure-injection tests."""
+        fallback).  Used by the failure-injection tests.
+
+        Manual failures are *permanent* until :meth:`restore_link`;
+        scheduled transient outages (a :class:`FaultPlan`'s
+        ``LinkOutage`` windows) are instead survived by block-and-retry
+        in :meth:`await_links_alive`."""
+        self._validate_link(link)
         self._failed.add(link)
         if both_directions:
             self._failed.add(link.reverse)
 
     def restore_link(self, link: Link, *, both_directions: bool = True) -> None:
         """Clear a previously injected link failure."""
+        self._validate_link(link)
         self._failed.discard(link)
         if both_directions:
             self._failed.discard(link.reverse)
@@ -90,6 +126,53 @@ class Network:
                 + ", ".join(sorted(map(str, dead)))
                 + "; e-cube routing is fixed, no alternative path exists"
             )
+
+    def await_links_alive(
+        self, t_ready: float, links: set, *, src: int, dst: int, tag: int
+    ) -> float:
+        """Block-and-retry until no path link sits inside a scheduled
+        outage window; returns the (possibly delayed) ready time.
+
+        Unlike a manually failed link (which raises — no heal time is
+        ever coming), a :class:`FaultPlan` outage is *transient*: the
+        sender holds the block, waits a deterministic capped backoff,
+        and looks again.  Every wait is recorded as a
+        :class:`~repro.sim.trace.RetryRecord` so a chaos sweep can
+        prove zero blocks were lost.  Aliveness is judged at the ready
+        instant; a window opening *after* the circuit is granted does
+        not tear it down (circuit establishment is the vulnerable step,
+        not the streaming transfer).
+        """
+        plan = self.fault_plan
+        if plan is None or not plan.outages:
+            return t_ready
+        t = t_ready
+        for attempt in range(MAX_RETRY_ATTEMPTS):
+            gating: Link | None = None
+            for link in links:
+                if isinstance(link, Link) and plan.down_until(link, t) is not None:
+                    gating = link if gating is None else min(gating, link)
+            if gating is None:
+                return t
+            t_retry = t + plan.backoff_us(attempt)
+            self.trace.record_retry(
+                RetryRecord(
+                    src=src,
+                    dst=dst,
+                    tag=tag,
+                    attempt=attempt,
+                    t_blocked=t,
+                    t_retry=t_retry,
+                    link=str(gating),
+                )
+            )
+            t = t_retry
+        from repro.sim.engine import SimulationError
+
+        raise SimulationError(
+            f"transfer {src}->{dst} (tag {tag}) still blocked after "
+            f"{MAX_RETRY_ATTEMPTS} retries; outage outlasts the retry budget"
+        )
 
     # ------------------------------------------------------------------
     # link reservation
@@ -134,25 +217,60 @@ class Network:
     # ------------------------------------------------------------------
     # timing model
     # ------------------------------------------------------------------
-    def message_duration(self, nbytes: int, hops: int, *, forced: bool) -> float:
+    def message_duration(
+        self,
+        nbytes: int,
+        hops: int,
+        *,
+        forced: bool,
+        lat_scale: float = 1.0,
+        bw_scale: float = 1.0,
+    ) -> float:
         """Wire time of one message (§4.3 model; §7.1 UNFORCED penalty).
 
         The reserve–acknowledge handshake of a large UNFORCED message
         is modelled as two zero-byte messages over the same distance,
         using the zero-byte startup λ₀ where the machine defines one.
+
+        ``lat_scale``/``bw_scale`` degrade the startup (λ-like) and
+        per-byte (τ) shares for circuits crossing degraded links (the
+        per-hop switch time δ is internal to the router and not
+        degraded).  Both default to 1.0, leaving the fault-free model
+        bit-identical.
         """
         p = self.params
-        base = p.latency + p.byte_time * nbytes + p.hop_time * hops
+        base = p.latency * lat_scale + p.byte_time * bw_scale * nbytes + p.hop_time * hops
         if forced or nbytes <= p.unforced_eager_limit:
             return base
         handshake_latency = p.sync_latency if p.sync_latency > 0 else p.latency
-        return base + 2.0 * (handshake_latency + p.hop_time * hops)
+        return base + 2.0 * (handshake_latency * lat_scale + p.hop_time * hops)
 
-    def exchange_duration(self, nbytes: int, hops: int) -> float:
+    def exchange_duration(
+        self,
+        nbytes: int,
+        hops: int,
+        *,
+        lat_scale: float = 1.0,
+        bw_scale: float = 1.0,
+    ) -> float:
         """Wire time of a pairwise synchronized exchange (§7.2):
-        ``λ_eff + τ·m + δ_eff·h`` with both directions concurrent."""
+        ``λ_eff + τ·m + δ_eff·h`` with both directions concurrent.
+        Scale factors degrade the λ_eff and τ shares as in
+        :meth:`message_duration`."""
         p = self.params
-        return p.exchange_latency + p.byte_time * nbytes + p.exchange_hop_time * hops
+        return (
+            p.exchange_latency * lat_scale
+            + p.byte_time * bw_scale * nbytes
+            + p.exchange_hop_time * hops
+        )
+
+    def path_scales(self, links: set) -> tuple[float, float]:
+        """Worst-case ``(lat_scale, bw_scale)`` along a circuit, from
+        the active fault plan (``(1.0, 1.0)`` without one)."""
+        plan = self.fault_plan
+        if plan is None or not plan.degradations:
+            return (1.0, 1.0)
+        return plan.path_scales(links)
 
     # ------------------------------------------------------------------
     # transfers (reserve + record)
@@ -162,9 +280,14 @@ class Network:
     ) -> Grant:
         """Reserve the circuit for a one-way message and record it."""
         hops = ecube_hops(src, dst)
-        duration = self.message_duration(nbytes, hops, forced=forced)
-        resources: set[object] = set(self.circuit_links(src, dst))
-        self.check_links_alive(resources)
+        circuit = self.circuit_links(src, dst)
+        self.check_links_alive(circuit)
+        t_ready = self.await_links_alive(t_ready, circuit, src=src, dst=dst, tag=tag)
+        lat_scale, bw_scale = self.path_scales(circuit)
+        duration = self.message_duration(
+            nbytes, hops, forced=forced, lat_scale=lat_scale, bw_scale=bw_scale
+        )
+        resources: set[object] = set(circuit)
         # Un-synchronized messages serialize with other traffic at both
         # endpoints (§7.2); synchronized exchanges do not pay this.
         resources.add(self.port(src))
@@ -185,6 +308,42 @@ class Network:
         )
         return grant
 
+    def start_cross_message(
+        self, t_ready: float, src: int, dst: int, nbytes: int
+    ) -> Grant:
+        """Reserve the circuit for one background cross-traffic payload.
+
+        Behaves like an un-synchronized FORCED message on the wire
+        (links + endpoint ports, so it genuinely contends with the
+        workload) but is recorded with ``kind="cross"`` / ``tag=-1`` so
+        traces keep workload and background traffic separable."""
+        hops = ecube_hops(src, dst)
+        circuit = self.circuit_links(src, dst)
+        self.check_links_alive(circuit)
+        t_ready = self.await_links_alive(t_ready, circuit, src=src, dst=dst, tag=-1)
+        lat_scale, bw_scale = self.path_scales(circuit)
+        duration = self.message_duration(
+            nbytes, hops, forced=True, lat_scale=lat_scale, bw_scale=bw_scale
+        )
+        resources: set[object] = set(circuit)
+        resources.add(self.port(src))
+        resources.add(self.port(dst))
+        grant = self.reserve(t_ready, resources, duration)
+        self.trace.record_transmission(
+            TransmissionRecord(
+                src=src,
+                dst=dst,
+                nbytes=nbytes,
+                hops=hops,
+                t_request=t_ready,
+                t_start=grant.t_start,
+                t_end=grant.t_end,
+                kind="cross",
+                tag=-1,
+            )
+        )
+        return grant
+
     def start_exchange(
         self, t_ready: float, a: int, b: int, nbytes_a: int, nbytes_b: int, tag: int
     ) -> Grant:
@@ -195,9 +354,13 @@ class Network:
         payload does.
         """
         hops = ecube_hops(a, b)
-        duration = self.exchange_duration(max(nbytes_a, nbytes_b), hops)
         links = self.exchange_links(a, b)
         self.check_links_alive(links)
+        t_ready = self.await_links_alive(t_ready, links, src=a, dst=b, tag=tag)
+        lat_scale, bw_scale = self.path_scales(links)
+        duration = self.exchange_duration(
+            max(nbytes_a, nbytes_b), hops, lat_scale=lat_scale, bw_scale=bw_scale
+        )
         grant = self.reserve(t_ready, links, duration)
         for src, dst, nbytes in ((a, b, nbytes_a), (b, a, nbytes_b)):
             self.trace.record_transmission(

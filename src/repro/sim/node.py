@@ -200,8 +200,9 @@ class NodeContext:
 
     # -- request builders -------------------------------------------------
     def delay(self, duration_us: float) -> Delay:
-        """Local computation for ``duration_us`` microseconds."""
-        return Delay(duration_us)
+        """Local computation for ``duration_us`` microseconds (a
+        straggler node runs it ``compute_scale`` times slower)."""
+        return Delay(duration_us * self.machine.compute_scale(self.rank))
 
     def send(self, dst: int, payload: Any, nbytes: int, *, tag: int = 0,
              forced: bool = True) -> SendReq:

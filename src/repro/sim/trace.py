@@ -11,7 +11,14 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["BarrierRecord", "PlanRecord", "ShuffleRecord", "Trace", "TransmissionRecord"]
+__all__ = [
+    "BarrierRecord",
+    "PlanRecord",
+    "RetryRecord",
+    "ShuffleRecord",
+    "Trace",
+    "TransmissionRecord",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +70,30 @@ class ShuffleRecord:
 
 
 @dataclass(frozen=True)
+class RetryRecord:
+    """One blocked-and-retried transfer attempt under fault injection.
+
+    A sender whose circuit crosses a link inside a scheduled outage
+    window does not lose the block: it waits a deterministic capped
+    backoff and tries again.  Each such wait is recorded here —
+    ``attempt`` counts from 0, ``t_blocked`` is when the dead link was
+    observed, ``t_retry`` when the sender will look again, ``link``
+    names the gating dead link (as a ``"src->dst"`` string)."""
+
+    src: int
+    dst: int
+    tag: int
+    attempt: int
+    t_blocked: float
+    t_retry: float
+    link: str
+
+    @property
+    def backoff(self) -> float:
+        return self.t_retry - self.t_blocked
+
+
+@dataclass(frozen=True)
 class PlanRecord:
     """One collective-planning decision taken for this run.
 
@@ -106,6 +137,7 @@ class Trace:
     dropped_messages: list[tuple[int, int, int, float]] = field(default_factory=list)
     phase_marks: list[tuple[int, float]] = field(default_factory=list)
     plan_decisions: list[PlanRecord] = field(default_factory=list)
+    retries: list[RetryRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # recording
@@ -127,6 +159,9 @@ class Trace:
 
     def record_plan(self, record: PlanRecord) -> None:
         self.plan_decisions.append(record)
+
+    def record_retry(self, record: RetryRecord) -> None:
+        self.retries.append(record)
 
     # ------------------------------------------------------------------
     # statistics
@@ -183,4 +218,5 @@ class Trace:
             "n_shuffles": float(len(self.shuffles)),
             "n_drops": float(len(self.dropped_messages)),
             "n_plan_decisions": float(len(self.plan_decisions)),
+            "n_retries": float(len(self.retries)),
         }

@@ -1,0 +1,84 @@
+"""Property tests for the cluster client's deterministic backoff.
+
+:class:`repro.fabric.cluster.RetryPolicy` is load-bearing for replica
+failover — every cross-replica retry sleeps by its schedule — but until
+now it was only exercised incidentally through whole-cluster tests.
+These pin its contract directly: deterministic, monotone non-decreasing,
+capped, and exactly the documented doubling series.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fabric.cluster import RetryPolicy
+
+policies = st.builds(
+    RetryPolicy,
+    attempts=st.integers(min_value=1, max_value=16),
+    base_delay_s=st.floats(
+        min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+    ),
+    max_delay_s=st.floats(
+        min_value=10.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+class TestBackoffSchedule:
+    def test_default_first_delays_pinned_exactly(self):
+        """The documented schedule of the default policy: doubling from
+        50 ms, capped at 1 s from the fifth failure on."""
+        policy = RetryPolicy()
+        assert [policy.delay_s(f) for f in range(8)] == [
+            0.05, 0.1, 0.2, 0.4, 0.8, 1.0, 1.0, 1.0,
+        ]
+
+    @given(policies, st.integers(min_value=0, max_value=60))
+    def test_monotone_non_decreasing(self, policy, failure):
+        assert policy.delay_s(failure + 1) >= policy.delay_s(failure)
+
+    @given(policies, st.integers(min_value=0, max_value=200))
+    def test_capped_and_non_negative(self, policy, failure):
+        delay = policy.delay_s(failure)
+        assert 0.0 <= delay <= policy.max_delay_s
+
+    @given(policies, st.integers(min_value=0, max_value=60))
+    def test_deterministic(self, policy, failure):
+        assert policy.delay_s(failure) == policy.delay_s(failure)
+
+    @given(policies, st.integers(min_value=0, max_value=40))
+    def test_exact_doubling_below_the_cap(self, policy, failure):
+        """Before the cap bites, the schedule is exactly base * 2^f."""
+        uncapped = policy.base_delay_s * (2.0 ** failure)
+        if uncapped < policy.max_delay_s:
+            assert policy.delay_s(failure) == uncapped
+        else:
+            assert policy.delay_s(failure) == policy.max_delay_s
+
+    @given(
+        st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=30),
+    )
+    def test_cap_reached_in_logarithmic_failures(self, base, failure):
+        """Once a delay hits the cap it stays there forever."""
+        policy = RetryPolicy(base_delay_s=base, max_delay_s=base * 8.0)
+        if policy.delay_s(failure) == policy.max_delay_s:
+            assert policy.delay_s(failure + 1) == policy.max_delay_s
+            assert policy.delay_s(failure + 7) == policy.max_delay_s
+
+
+class TestValidation:
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ValueError, match="base_delay_s <= max_delay_s"):
+            RetryPolicy(base_delay_s=2.0, max_delay_s=1.0)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError, match="base_delay_s"):
+            RetryPolicy(base_delay_s=-0.1)

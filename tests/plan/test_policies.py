@@ -1,4 +1,4 @@
-"""Tests for the planning policies: fixed, model, service."""
+"""Tests for the planning policies: fixed, model, service, adaptive."""
 
 from __future__ import annotations
 
@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.model.cost import multiphase_time
 from repro.model.params import PRESETS
 from repro.plan import (
+    AdaptivePolicy,
     ContentionPolicy,
     FixedPolicy,
     ModelPolicy,
@@ -199,12 +200,93 @@ class TestTrafficPolicy:
         assert report.max_rel_error < 0.01
 
 
+class TestAdaptivePolicy:
+    def test_starts_at_model_optimum(self, ipsc):
+        """With no drift observed, the adaptive policy IS the model
+        policy: same partition, bit-identical prediction."""
+        adaptive = AdaptivePolicy(ipsc).decide(7, 40.0)
+        model = ModelPolicy(ipsc).decide(7, 40.0)
+        assert adaptive.partition == model.partition == (4, 3)
+        assert adaptive.predicted_us == model.predicted_us
+
+    def test_drift_below_threshold_is_ignored(self, ipsc):
+        policy = AdaptivePolicy(ipsc, threshold=0.25)
+        decision = policy.decide(7, 40.0)
+        assert policy.observe(decision, decision.predicted_us * 1.2) is False
+        assert policy.slowdown == 1.0
+        assert policy.replans == 0
+        assert policy.decide(7, 40.0).partition == (4, 3)
+
+    def test_drift_past_threshold_replans_toward_single_phase(self, ipsc):
+        """A 4x-slow machine taxes byte volume and shuffles; the
+        recalibrated argmin slides to the no-shuffle (d,) schedule."""
+        policy = AdaptivePolicy(ipsc, threshold=0.25)
+        decision = policy.decide(7, 40.0)
+        assert policy.observe(decision, decision.predicted_us * 4.0) is True
+        assert policy.slowdown == pytest.approx(4.0)
+        assert policy.replans == 1
+        assert policy.decide(7, 40.0).partition == (7,)
+
+    def test_calibration_recovers_when_machine_heals(self, ipsc):
+        """Observed times back at the clean prediction pull the
+        slowdown back down (ratio-absorbing, not ratcheting)."""
+        policy = AdaptivePolicy(ipsc, threshold=0.25)
+        first = policy.decide(7, 40.0)
+        policy.observe(first, first.predicted_us * 4.0)
+        clean_time = first.predicted_us
+        healed = policy.decide(7, 40.0)
+        policy.observe(healed, clean_time)
+        assert policy.slowdown < 4.0
+        assert policy.replans == 2
+
+    def test_slowdown_floor(self, ipsc):
+        """Absurdly fast observations clamp at MIN_SLOWDOWN instead of
+        making every candidate free."""
+        policy = AdaptivePolicy(ipsc, threshold=0.25)
+        decision = policy.decide(7, 40.0)
+        policy.observe(decision, decision.predicted_us * 1e-9)
+        assert policy.slowdown == AdaptivePolicy.MIN_SLOWDOWN
+
+    def test_unpredicted_decision_never_triggers(self, ipsc):
+        """A naive decision carries no prediction — nothing to drift
+        from, so observe is a no-op."""
+        policy = AdaptivePolicy(ipsc)
+        naive = FixedPolicy(naive=True).decide(4, 16.0)
+        assert naive.predicted_us is None
+        assert policy.observe(naive, 1e9) is False
+        assert policy.replans == 0
+
+    def test_threshold_must_be_positive(self, ipsc):
+        with pytest.raises(ValueError, match="threshold"):
+            AdaptivePolicy(ipsc, threshold=0.0)
+
+    def test_fault_plan_prices_with_degraded_model(self, ipsc):
+        from repro.core.partitions import cached_partitions
+        from repro.model.cost import degraded_multiphase_time
+        from repro.hypercube.topology import Link
+        from repro.sim.faults import FaultPlan, LinkDegradation
+
+        plan = FaultPlan(
+            3, degradations=(
+                LinkDegradation(Link(0, 1), latency_scale=2.0, bandwidth_scale=3.0),
+            ),
+        )
+        decision = AdaptivePolicy(ipsc, fault_plan=plan).decide(3, 16.0)
+        assert decision.source == "degraded-model"
+        expected = min(
+            (degraded_multiphase_time(16.0, 3, p, ipsc, plan), p)
+            for p in cached_partitions(3)
+        )
+        assert (decision.predicted_us, decision.partition) == expected
+
+
 class TestMakePolicy:
     def test_names(self, ipsc):
         assert make_policy("fixed", ipsc).name == "fixed"
         assert make_policy("model", ipsc).name == "model"
         assert make_policy("service", ipsc).name == "service:ipsc860"
         assert make_policy("contention", ipsc).name == "contention"
+        assert make_policy("adaptive", ipsc).name == "adaptive"
 
     def test_fixed_options_pass_through(self, ipsc):
         assert make_policy("fixed", ipsc, naive=True).name == "fixed:naive"
